@@ -1,0 +1,329 @@
+package watchman_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (BenchmarkFigure2 … BenchmarkFigure7), the optimality and
+// ablation experiments from DESIGN.md, and micro-benchmarks of the cache's
+// hot paths. Figure benchmarks report their headline values through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every result
+// of the evaluation in one run.
+//
+// Benchmark scale: the figure benches default to 6 000-query traces (the
+// paper's full 17 000-query runs are produced by `watchman experiments` or
+// `go run ./cmd/watchman experiments`); shapes are stable at this size and
+// the whole suite completes in a few minutes.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	watchman "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const (
+	benchQueries       = 6000
+	benchBufferQueries = 2000
+	benchSeed          = 42
+)
+
+// benchSuite is shared across figure benchmarks so the traces and the
+// standard sweep are generated once.
+var benchSuite = experiments.NewSuite(experiments.Options{
+	Queries:       benchQueries,
+	BufferQueries: benchBufferQueries,
+	Seed:          benchSeed,
+})
+
+// benchTraces memoizes raw traces for the micro/ablation benches.
+var benchTraces = map[string]*trace.Trace{}
+
+func benchTrace(b *testing.B, name string) *trace.Trace {
+	b.Helper()
+	if tr, ok := benchTraces[name]; ok {
+		return tr
+	}
+	var tr *trace.Trace
+	var err error
+	switch name {
+	case "tpcd":
+		tr, err = benchSuite.TPCD()
+	case "setquery":
+		tr, err = benchSuite.SetQuery()
+	case "multiclass":
+		_, tr, err = workload.GenerateMulticlass(0, workload.MulticlassConfig{
+			Config: workload.Config{Queries: benchQueries, Seed: benchSeed},
+		})
+	default:
+		b.Fatalf("unknown trace %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[name] = tr
+	return tr
+}
+
+// reportCell parses a table cell and reports it as a benchmark metric.
+func reportCell(b *testing.B, tb *metrics.Table, row, col int, unit string) {
+	b.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		return // non-numeric cell (e.g. byte sizes); skip
+	}
+	b.ReportMetric(v, unit)
+}
+
+// BenchmarkFigure2InfiniteCache regenerates the infinite-cache table (E1).
+func BenchmarkFigure2InfiniteCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := benchSuite.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, tb, 0, 1, "tpcd-CSRinf")
+		reportCell(b, tb, 0, 2, "tpcd-HRinf")
+		reportCell(b, tb, 1, 1, "sq-CSRinf")
+		reportCell(b, tb, 1, 2, "sq-HRinf")
+	}
+}
+
+// BenchmarkFigure3ImpactOfK regenerates the impact-of-K curves (E2).
+func BenchmarkFigure3ImpactOfK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbs, err := benchSuite.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// LNC-RA CSR at K=1 and K=5 on TPC-D: the paper's improvement.
+		reportCell(b, tbs[0], 0, 1, "tpcd-K1")
+		reportCell(b, tbs[0], 4, 1, "tpcd-K5")
+	}
+}
+
+// BenchmarkFigure4CostSavings regenerates the CSR-vs-cache-size curves (E3,
+// including ablation A1: the LNC-RA vs LNC-R columns differ exactly by the
+// admission algorithm).
+func BenchmarkFigure4CostSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbs, err := benchSuite.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// CSR at 1% cache: LNC-RA vs LRU, both traces.
+		reportCell(b, tbs[0], 3, 1, "tpcd-LNCRA")
+		reportCell(b, tbs[0], 3, 3, "tpcd-LRU")
+		reportCell(b, tbs[1], 3, 1, "sq-LNCRA")
+		reportCell(b, tbs[1], 3, 3, "sq-LRU")
+	}
+}
+
+// BenchmarkFigure5HitRatios regenerates the HR-vs-cache-size curves (E4).
+func BenchmarkFigure5HitRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbs, err := benchSuite.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, tbs[0], 3, 1, "tpcd-LNCRA")
+		reportCell(b, tbs[0], 3, 3, "tpcd-LRU")
+	}
+}
+
+// BenchmarkFigure6Fragmentation regenerates the cache-utilization table (E5).
+func BenchmarkFigure6Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbs, err := benchSuite.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Utilization at 1% cache on TPC-D: LNC-RA vs LRU.
+		reportCell(b, tbs[0], 2, 1, "tpcd-LNCRA-util%")
+		reportCell(b, tbs[0], 2, 3, "tpcd-LRU-util%")
+	}
+}
+
+// BenchmarkFigure7BufferHints regenerates the buffer-cooperation experiment
+// (E6). This is the heaviest benchmark: each iteration streams millions of
+// page references through the pool for every p₀ value.
+func BenchmarkFigure7BufferHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := benchSuite.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, tb, 0, 1, "HR-nohints")
+		reportCell(b, tb, 1, 1, "HR-p100")
+		reportCell(b, tb, 3, 1, "HR-p60")
+		reportCell(b, tb, 6, 1, "HR-p0")
+	}
+}
+
+// BenchmarkOptimalityLNCStar regenerates the §2.3 optimality check (E7).
+func BenchmarkOptimalityLNCStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := benchSuite.Optimality(100, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, tb, 0, 2, "mean-ratio")
+	}
+}
+
+// BenchmarkAblationRetainedInfo measures retained reference information on
+// vs off (A2).
+func BenchmarkAblationRetainedInfo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := benchSuite.AblationRetained()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCell(b, tb, 1, 2, "tpcd1pct-on")
+		reportCell(b, tb, 1, 3, "tpcd1pct-off")
+	}
+}
+
+// BenchmarkAblationStrictTiers contrasts the default profit-only LNC
+// ordering with the literal Figure-1 tier loop (A6; see DESIGN.md).
+func BenchmarkAblationStrictTiers(b *testing.B) {
+	tr := benchTrace(b, "tpcd")
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	for i := 0; i < b.N; i++ {
+		relaxed, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LNCRA, K: 4}, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strict, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LNCRA, K: 4, StrictTiers: true}, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(relaxed.CSR(), "CSR-default")
+		b.ReportMetric(strict.CSR(), "CSR-strict")
+	}
+}
+
+// BenchmarkAblationEvictors compares the exact scan evictor with the
+// approximate heap evictor (A3): CSR delta and throughput.
+func BenchmarkAblationEvictors(b *testing.B) {
+	tr := benchTrace(b, "tpcd")
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	for _, kind := range []core.EvictorKind{core.ScanEvictor, core.HeapEvictor} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var csr float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LNCRA, K: 4, Evictor: kind}, capacity)
+				if err != nil {
+					b.Fatal(err)
+				}
+				csr = res.CSR()
+			}
+			b.ReportMetric(csr, "CSR")
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
+
+// BenchmarkExtensionMulticlass runs the §6 multiclass extension (A4).
+func BenchmarkExtensionMulticlass(b *testing.B) {
+	tr := benchTrace(b, "multiclass")
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	for i := 0; i < b.N; i++ {
+		k1, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LRUK, K: 1}, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k4, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LRUK, K: 4}, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(k1.CSR(), "LRUK-K1")
+		b.ReportMetric(k4.CSR(), "LRUK-K4")
+	}
+}
+
+// BenchmarkBaselinesLFULCS compares the related-work baselines (A5).
+func BenchmarkBaselinesLFULCS(b *testing.B) {
+	tr := benchTrace(b, "tpcd")
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	for i := 0; i < b.N; i++ {
+		for _, p := range []core.PolicyKind{core.LFU, core.LCS, core.LNCRA} {
+			res, err := sim.ReplaySetup(tr, sim.Setup{Policy: p, K: 4}, capacity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.CSR(), p.String())
+		}
+	}
+}
+
+// BenchmarkCacheReferenceHit measures the hot path: a reference that hits.
+func BenchmarkCacheReferenceHit(b *testing.B) {
+	c, err := watchman.New(watchman.Config{Capacity: 1 << 20, K: 4, Policy: watchman.LNCRA})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Reference(watchman.Request{QueryID: "hot query", Time: 0, Size: 100, Cost: 50})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reference(watchman.Request{QueryID: "hot query", Time: float64(i + 1), Size: 100, Cost: 50})
+	}
+}
+
+// BenchmarkCacheReferenceMiss measures the miss path with admission and
+// eviction under steady pressure, for both evictors.
+func BenchmarkCacheReferenceMiss(b *testing.B) {
+	for _, kind := range []watchman.EvictorKind{watchman.ScanEvictor, watchman.HeapEvictor} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			c, err := watchman.New(watchman.Config{
+				Capacity: 64 << 10, K: 4, Policy: watchman.LNCRA, Evictor: kind,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("query-%d", i%4096)
+				c.Reference(watchman.Request{QueryID: id, Time: float64(i), Size: 256, Cost: 100})
+			}
+		})
+	}
+}
+
+// BenchmarkCompressID measures query-ID canonicalization.
+func BenchmarkCompressID(b *testing.B) {
+	q := "select l_returnflag, l_linestatus, sum(l_quantity), avg(l_extendedprice) from lineitem where l_shipdate <= 2520 group by l_returnflag, l_linestatus"
+	b.SetBytes(int64(len(q)))
+	for i := 0; i < b.N; i++ {
+		_ = watchman.CompressID(q)
+	}
+}
+
+// BenchmarkTraceGeneration measures workload generation throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := watchman.TPCDTrace(0.005, watchman.WorkloadConfig{Queries: 2000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayThroughput measures end-to-end replay speed (references
+// per second through the full LNC-RA stack).
+func BenchmarkReplayThroughput(b *testing.B) {
+	tr := benchTrace(b, "tpcd")
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReplaySetup(tr, sim.Setup{Policy: core.LNCRA, K: 4}, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "refs/s")
+}

@@ -1,0 +1,72 @@
+// Command multiclass runs the paper's §6 future-work scenario: a workload
+// of several query classes with distinct, bursty reference characteristics.
+// This is the environment where keeping more than the last reference time
+// (K > 1) pays off — a single reference time cannot distinguish a set from
+// a burst-active class from one that merely got touched once.
+//
+// Run with:
+//
+//	go run ./examples/multiclass [-queries 8000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	watchman "repro"
+)
+
+func main() {
+	queries := flag.Int("queries", 8000, "trace length")
+	seed := flag.Int64("seed", 5, "workload seed")
+	flag.Parse()
+
+	tr, err := watchman.MulticlassTrace(0, watchman.WorkloadConfig{
+		Queries: *queries,
+		Seed:    *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count the class mix for context.
+	classes := map[int]int{}
+	for i := range tr.Records {
+		classes[tr.Records[i].Class]++
+	}
+	fmt.Printf("three-class TPC-D stream: %d queries (class mix:", len(tr.Records))
+	for c := 0; c < len(classes); c++ {
+		fmt.Printf(" %d:%d", c, classes[c])
+	}
+	fmt.Println(")")
+	fmt.Println()
+
+	capacity := watchman.CacheBytesForFraction(tr, 1)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "K\tLNC-RA CSR\tLRU-K CSR")
+	for k := 1; k <= 5; k++ {
+		lnc, _, err := watchman.Replay(tr, watchman.Config{
+			Capacity: capacity, K: k, Policy: watchman.LNCRA,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lruk, _, err := watchman.Replay(tr, watchman.Config{
+			Capacity: capacity, K: k, Policy: watchman.LRUK,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", k, lnc.CSR(), lruk.CSR())
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("cache = 1% of the database. LRU-K dips while K is smaller than the")
+	fmt.Println("correlated burst length and recovers once K exceeds it; LNC-RA stays")
+	fmt.Println("flat because LNC-A already refuses the one-shot noise at admission.")
+}

@@ -1,0 +1,263 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool(2)
+	if p.Capacity() != 2 || p.Len() != 0 {
+		t.Fatal("fresh pool state wrong")
+	}
+	hit, err := p.Read(1)
+	if err != nil || hit {
+		t.Fatalf("first read: hit=%v err=%v", hit, err)
+	}
+	hit, err = p.Read(1)
+	if err != nil || !hit {
+		t.Fatalf("second read must hit: hit=%v err=%v", hit, err)
+	}
+	s := p.Stats()
+	if s.Reads != 2 || s.Hits != 1 || s.HitRatio() != 0.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	p := NewPool(3)
+	for _, id := range []PageID{1, 2, 3} {
+		if _, err := p.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Read(1) // 1 becomes MRU; LRU order now 1,3,2
+	p.Read(4) // evicts 2
+	if p.Contains(2) {
+		t.Fatal("LRU page not evicted")
+	}
+	for _, id := range []PageID{1, 3, 4} {
+		if !p.Contains(id) {
+			t.Fatalf("page %d unexpectedly evicted", id)
+		}
+	}
+	if got := p.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d", got)
+	}
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	p := NewPool(3)
+	p.Read(10)
+	p.Read(20)
+	p.Read(30)
+	p.Read(10) // MRU
+	got := p.LRUOrder()
+	want := []PageID{10, 30, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LRU order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPoolDemote(t *testing.T) {
+	p := NewPool(3)
+	p.Read(1)
+	p.Read(2)
+	p.Read(3) // LRU order: 3,2,1
+	p.Demote(3)
+	// 3 is now the eviction victim despite being most recently used.
+	p.Read(4)
+	if p.Contains(3) {
+		t.Fatal("demoted page must be evicted first")
+	}
+	if !p.Contains(1) || !p.Contains(2) {
+		t.Fatal("non-demoted pages evicted")
+	}
+	if p.Stats().Demotions != 1 {
+		t.Fatalf("demotions = %d", p.Stats().Demotions)
+	}
+}
+
+func TestPoolDemoteNonResident(t *testing.T) {
+	p := NewPool(2)
+	p.Demote(99) // no-op
+	if p.Stats().Demotions != 0 {
+		t.Fatal("demoting a non-resident page must not count")
+	}
+}
+
+func TestPoolPinning(t *testing.T) {
+	p := NewPool(2)
+	p.Read(1)
+	p.Read(2)
+	if err := p.Pin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+	// Everything pinned: a new page cannot enter.
+	if _, err := p.Read(3); err != ErrNoEvictable {
+		t.Fatalf("err = %v, want ErrNoEvictable", err)
+	}
+	if err := p.Unpin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(1) {
+		t.Fatal("unpinned page 1 should have been the victim")
+	}
+	if !p.Contains(2) {
+		t.Fatal("pinned page 2 must survive")
+	}
+}
+
+func TestPoolPinErrors(t *testing.T) {
+	p := NewPool(2)
+	if err := p.Pin(5); err == nil {
+		t.Error("pinning a non-resident page must fail")
+	}
+	if err := p.Unpin(5); err == nil {
+		t.Error("unpinning a non-resident page must fail")
+	}
+	p.Read(5)
+	if err := p.Unpin(5); err == nil {
+		t.Error("unpinning an unpinned page must fail")
+	}
+	p.Pin(5)
+	p.Pin(5) // pins nest
+	if err := p.Unpin(5); err != nil {
+		t.Error(err)
+	}
+	if err := p.Unpin(5); err != nil {
+		t.Error(err)
+	}
+	if err := p.Unpin(5); err == nil {
+		t.Error("unbalanced unpin must fail")
+	}
+}
+
+func TestPoolFailedReadNotCounted(t *testing.T) {
+	p := NewPool(1)
+	p.Read(1)
+	p.Pin(1)
+	before := p.Stats().Reads
+	if _, err := p.Read(2); err == nil {
+		t.Fatal("expected ErrNoEvictable")
+	}
+	if p.Stats().Reads != before {
+		t.Fatal("failed reads must not count")
+	}
+}
+
+func TestPoolCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestPoolResetStats(t *testing.T) {
+	p := NewPool(2)
+	p.Read(1)
+	p.ResetStats()
+	if p.Stats() != (Stats{}) {
+		t.Fatal("stats not reset")
+	}
+	if !p.Contains(1) {
+		t.Fatal("reset must not drop contents")
+	}
+}
+
+// modelLRU is a trivial reference implementation: a slice ordered MRU→LRU.
+type modelLRU struct {
+	cap   int
+	pages []PageID
+}
+
+func (m *modelLRU) read(id PageID) bool {
+	for i, p := range m.pages {
+		if p == id {
+			copy(m.pages[1:i+1], m.pages[:i])
+			m.pages[0] = id
+			return true
+		}
+	}
+	if len(m.pages) == m.cap {
+		m.pages = m.pages[:m.cap-1]
+	}
+	m.pages = append([]PageID{id}, m.pages...)
+	return false
+}
+
+func (m *modelLRU) demote(id PageID) {
+	for i, p := range m.pages {
+		if p == id {
+			m.pages = append(append(append([]PageID{}, m.pages[:i]...), m.pages[i+1:]...), id)
+			return
+		}
+	}
+}
+
+func TestPoolMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := rng.Intn(8) + 1
+		pool := NewPool(capacity)
+		model := &modelLRU{cap: capacity}
+		for op := 0; op < 500; op++ {
+			id := PageID(rng.Intn(20))
+			if rng.Intn(5) == 0 {
+				pool.Demote(id)
+				model.demote(id)
+				continue
+			}
+			hit, err := pool.Read(id)
+			if err != nil {
+				return false
+			}
+			if hit != model.read(id) {
+				return false
+			}
+		}
+		got := pool.LRUOrder()
+		if len(got) != len(model.pages) {
+			return false
+		}
+		for i := range got {
+			if got[i] != model.pages[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolNeverExceedsCapacityQuick(t *testing.T) {
+	f := func(ids []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		p := NewPool(capacity)
+		for _, id := range ids {
+			if _, err := p.Read(PageID(id % 64)); err != nil {
+				return false
+			}
+			if p.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Capacity is the cache size in bytes. Use Unlimited for an infinite
+	// cache.
+	Capacity int64
+	// K is the number of reference times kept per retrieved set (the K of
+	// LRU-K and of the λ estimate). Vanilla LRU corresponds to K = 1.
+	K int
+	// Policy selects the replacement/admission algorithm.
+	Policy PolicyKind
+	// Evictor selects the victim-search structure (scan or heap).
+	Evictor EvictorKind
+	// MetadataOverhead is the space in bytes charged against Capacity for
+	// every entry record, resident or retained. The paper's §2.4 retained-
+	// information policy relies on retained records consuming cache space.
+	MetadataOverhead int64
+	// RetainedPruneEvery runs the retained-information pruning pass every
+	// N misses. Zero selects the default (64).
+	RetainedPruneEvery int
+	// RetainedTimeout is the retention period in logical seconds for
+	// policies that prune retained information by age (LRU-K, following
+	// the Five Minute Rule discussion in §2.4). Zero selects the default
+	// of 300 s. LNC-R/LNC-RA ignore it: they prune by the paper's
+	// profit-based rule instead.
+	RetainedTimeout float64
+	// DisableRetainedInfo turns off retained reference information even
+	// for policies that normally keep it (ablation A2).
+	DisableRetainedInfo bool
+	// StrictTiers enables the literal Figure-1 LNC-R victim loop: all
+	// sets with one recorded reference in profit order, then all with two,
+	// and so on. By default entries compete on profit alone — the λ
+	// smoothing floor already discounts unreliable young estimates, and
+	// the strict tier loop measurably inverts the paper's Figure 3 trend
+	// on these workloads (ablation A6 quantifies this; see DESIGN.md).
+	StrictTiers bool
+	// OnAdmit, if non-nil, is called after a retrieved set is cached. The
+	// buffer-manager hint pipeline hangs off this callback.
+	OnAdmit func(*Entry)
+	// OnEvict, if non-nil, is called after a retrieved set is evicted or
+	// invalidated.
+	OnEvict func(*Entry)
+	// OnReject, if non-nil, is called when the admission test denies a
+	// set: the rejected entry, its candidate list and both sides of the
+	// profit comparison. Observability only; the decision is already made.
+	OnReject func(e *Entry, victims []*Entry, profit, bar float64)
+}
+
+// Unlimited is a Capacity value denoting an effectively infinite cache.
+const Unlimited = math.MaxInt64
+
+// defaultPruneEvery is the retained-info pruning period in misses.
+const defaultPruneEvery = 64
+
+// Stats are the cache's cumulative counters. The ratios defined on it are
+// the paper's three performance metrics (§4.1).
+type Stats struct {
+	References      int64   // total Reference calls
+	Hits            int64   // references satisfied from cache
+	CostTotal       float64 // Σ cᵢ over all references
+	CostSaved       float64 // Σ cᵢ over hits
+	BytesServed     int64   // Σ sᵢ over hits
+	Admissions      int64   // retrieved sets cached
+	Rejections      int64   // admissions denied by LNC-A
+	Evictions       int64   // retrieved sets evicted for space
+	Invalidations   int64   // entries dropped by coherence events
+	RetainedDropped int64   // retained records pruned
+	FragSamples     int64   // fragmentation samples taken
+	FragSum         float64 // Σ unused-fraction samples
+}
+
+// HitRatio returns hits divided by references (paper metric HR).
+func (s Stats) HitRatio() float64 {
+	if s.References == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.References)
+}
+
+// CostSavingsRatio returns the cost savings ratio (paper metric CSR):
+// Σ cᵢhᵢ / Σ cᵢrᵢ.
+func (s Stats) CostSavingsRatio() float64 {
+	if s.CostTotal == 0 {
+		return 0
+	}
+	return s.CostSaved / s.CostTotal
+}
+
+// AvgFragmentation returns the average fraction of unused cache space
+// (paper's tertiary metric, §4.1).
+func (s Stats) AvgFragmentation() float64 {
+	if s.FragSamples == 0 {
+		return 0
+	}
+	return s.FragSum / float64(s.FragSamples)
+}
+
+// AvgUtilization returns 1 − AvgFragmentation.
+func (s Stats) AvgUtilization() float64 { return 1 - s.AvgFragmentation() }
+
+// Request describes one query submission presented to the cache.
+type Request struct {
+	// QueryID is the raw query string or ID; it is compressed with
+	// CompressID before lookup.
+	QueryID string
+	// Time is the submission time in logical seconds. Times must be
+	// non-decreasing across calls.
+	Time float64
+	// Size is the retrieved set size in bytes (> 0).
+	Size int64
+	// Cost is the execution cost in logical block reads (≥ 0).
+	Cost float64
+	// Relations lists base relations for coherence invalidation.
+	Relations []string
+	// Payload optionally carries the materialized retrieved set.
+	Payload any
+}
+
+// Cache is the WATCHMAN cache manager.
+type Cache struct {
+	cfg      Config
+	index    map[uint64][]*Entry
+	ev       evictor
+	retained map[*Entry]struct{}
+	rc       *rateContext
+
+	usedPayload int64
+	resident    int
+	now         float64
+	firstTime   float64
+	haveFirst   bool
+
+	missesSincePrune int
+	stats            Stats
+}
+
+// New creates a cache. It returns an error for nonsensical configurations.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("core: non-positive capacity %d", cfg.Capacity)
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.MetadataOverhead < 0 {
+		return nil, fmt.Errorf("core: negative metadata overhead %d", cfg.MetadataOverhead)
+	}
+	if cfg.RetainedPruneEvery <= 0 {
+		cfg.RetainedPruneEvery = defaultPruneEvery
+	}
+	if cfg.RetainedTimeout <= 0 {
+		cfg.RetainedTimeout = 300 // the Five Minute Rule, per §2.4
+	}
+	return &Cache{
+		cfg:      cfg,
+		index:    make(map[uint64][]*Entry),
+		ev:       newEvictor(cfg.Evictor, ranker{policy: cfg.Policy, strictTiers: cfg.StrictTiers}),
+		retained: make(map[*Entry]struct{}),
+		rc:       &rateContext{},
+	}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Clock returns the cache's logical time (the latest Request.Time seen).
+func (c *Cache) Clock() float64 { return c.now }
+
+// Resident returns the number of cached retrieved sets.
+func (c *Cache) Resident() int { return c.resident }
+
+// Retained returns the number of retained-information-only records.
+func (c *Cache) Retained() int { return len(c.retained) }
+
+// UsedBytes returns payload plus metadata bytes charged against capacity.
+func (c *Cache) UsedBytes() int64 { return c.usedPayload + c.metaBytes() }
+
+// FreeBytes returns the uncommitted capacity.
+func (c *Cache) FreeBytes() int64 { return c.cfg.Capacity - c.UsedBytes() }
+
+func (c *Cache) metaBytes() int64 {
+	return c.cfg.MetadataOverhead * int64(c.resident+len(c.retained))
+}
+
+func (c *Cache) retainsInfo() bool {
+	return c.cfg.Policy.RetainsRefInfo() && !c.cfg.DisableRetainedInfo
+}
+
+// lookup finds the entry for a compressed ID via the signature index.
+func (c *Cache) lookup(id string, sig uint64) *Entry {
+	for _, e := range c.index[sig] {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *Cache) indexInsert(e *Entry) {
+	c.index[e.Sig] = append(c.index[e.Sig], e)
+}
+
+func (c *Cache) indexRemove(e *Entry) {
+	bucket := c.index[e.Sig]
+	for i, x := range bucket {
+		if x == e {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.index, e.Sig)
+	} else {
+		c.index[e.Sig] = bucket
+	}
+}
+
+// Peek reports whether the query's retrieved set is resident, without
+// touching reference statistics.
+func (c *Cache) Peek(queryID string) (payload any, ok bool) {
+	id := CompressID(queryID)
+	e := c.lookup(id, Signature(id))
+	if e == nil || !e.resident {
+		return nil, false
+	}
+	return e.Payload, true
+}
+
+// Reference processes one query submission: on a hit it returns the cached
+// payload; on a miss it runs the policy's admission/replacement logic and
+// returns hit = false. The caller is expected to have executed (or to now
+// execute) the query on a miss; Request.Cost is charged either way for the
+// cost-savings accounting.
+func (c *Cache) Reference(req Request) (hit bool, payload any) {
+	if req.Time > c.now {
+		c.now = req.Time
+	}
+	now := c.now
+	c.stats.References++
+	c.stats.CostTotal += req.Cost
+	// Track the mean inter-arrival gap of references; it floors the λ
+	// denominators (see refWindow.rate).
+	if !c.haveFirst {
+		c.firstTime, c.haveFirst = now, true
+	} else if n := c.stats.References - 1; n > 0 && now > c.firstTime {
+		c.rc.minDt = (now - c.firstTime) / float64(n)
+	}
+
+	id := CompressID(req.QueryID)
+	sig := Signature(id)
+	e := c.lookup(id, sig)
+
+	if e != nil && e.resident {
+		e.window.record(now)
+		c.ev.touch(e, now)
+		c.stats.Hits++
+		c.stats.CostSaved += req.Cost
+		c.stats.BytesServed += e.Size
+		c.sampleFragmentation()
+		return true, e.Payload
+	}
+
+	// Miss path (Figure 1 of the paper).
+	c.missesSincePrune++
+	c.miss(e, id, sig, req, now)
+	if c.missesSincePrune >= c.cfg.RetainedPruneEvery {
+		c.pruneRetained(now)
+		c.missesSincePrune = 0
+	}
+	c.enforceRetainedBudget(now)
+	c.sampleFragmentation()
+	return false, nil
+}
+
+// enforceRetainedBudget drops lowest-profit retained records whenever their
+// metadata charge pushes the cache over capacity. Admission accounting
+// guarantees resident entries never overflow; only retained-record growth
+// between pruning passes can, and §2.4's self-scaling argument says exactly
+// that retained information must yield to cache pressure.
+func (c *Cache) enforceRetainedBudget(now float64) {
+	if c.cfg.MetadataOverhead == 0 || c.cfg.Capacity == Unlimited {
+		return
+	}
+	for c.UsedBytes() > c.cfg.Capacity && len(c.retained) > 0 {
+		var worst *Entry
+		worstP := math.Inf(1)
+		for e := range c.retained {
+			if p := e.Profit(now); p < worstP || (p == worstP && (worst == nil || e.ID < worst.ID)) {
+				worstP, worst = p, e
+			}
+		}
+		delete(c.retained, worst)
+		c.indexRemove(worst)
+		c.stats.RetainedDropped++
+	}
+}
+
+// miss implements the two miss cases of the LNC-RA pseudo-code: admit
+// directly when free space suffices, otherwise run replacement selection
+// and (for LNC-RA) the admission test.
+func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64) {
+	needBytes := req.Size + c.cfg.MetadataOverhead
+	if needBytes > c.cfg.Capacity {
+		// The set can never fit; at most remember its reference.
+		c.noteRejected(e, id, sig, req, now)
+		return
+	}
+
+	// Update (or allocate) reference information first, as in Figure 1:
+	// profit comparisons below see the current reference.
+	hadHistory := e != nil && e.window.count() > 0
+	if e == nil {
+		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Relations: req.Relations, rc: c.rc}
+		e.window = newRefWindow(c.cfg.K)
+	}
+	e.window.record(now)
+
+	free := c.cfg.Capacity - c.usedPayload - c.metaBytes()
+	extraMeta := c.cfg.MetadataOverhead
+	if _, isRetained := c.retained[e]; isRetained {
+		extraMeta = 0 // its record is already charged
+	}
+
+	var victims []*Entry
+	if free < req.Size+extraMeta {
+		victims = c.ev.candidates(req.Size+extraMeta-free, now)
+		if victims == nil {
+			// Cannot free enough space (pathological capacity); reject.
+			c.noteRejectedEntry(e, req, now)
+			return
+		}
+		if c.cfg.Policy.HasAdmission() {
+			var incoming, bar float64
+			if hadHistory {
+				incoming, bar = e.Profit(now), profitOf(victims, now)
+			} else {
+				incoming, bar = e.EProfit(), eprofitOf(victims)
+			}
+			if incoming <= bar {
+				if c.cfg.OnReject != nil {
+					c.cfg.OnReject(e, victims, incoming, bar)
+				}
+				c.noteRejectedEntry(e, req, now)
+				return
+			}
+		}
+	}
+
+	for _, v := range victims {
+		c.evict(v, now)
+	}
+	c.insert(e, req)
+	c.stats.Admissions++
+	if c.cfg.OnAdmit != nil {
+		c.cfg.OnAdmit(e)
+	}
+}
+
+// noteRejected handles rejections where the entry may not exist yet.
+func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now float64) {
+	if e == nil {
+		if !c.retainsInfo() {
+			c.stats.Rejections++
+			return
+		}
+		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Relations: req.Relations, rc: c.rc}
+		e.window = newRefWindow(c.cfg.K)
+		c.indexInsert(e)
+		c.retained[e] = struct{}{}
+	}
+	e.window.record(now)
+	c.noteRejectedEntry(e, req, now)
+}
+
+// noteRejectedEntry records a rejection for an entry whose reference window
+// is already up to date. The entry's reference information is retained
+// (§2.4: "a retrieved set that is initially rejected from cache may be
+// admitted after sufficient reference information is collected"), unless
+// the policy does not keep retained info, in which case an entry not in any
+// structure is dropped.
+func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64) {
+	c.stats.Rejections++
+	if _, ok := c.retained[e]; ok {
+		return
+	}
+	if !c.retainsInfo() {
+		return
+	}
+	c.retained[e] = struct{}{}
+	if c.lookup(e.ID, e.Sig) != e {
+		c.indexInsert(e)
+	}
+}
+
+// insert makes the entry resident.
+func (c *Cache) insert(e *Entry, req Request) {
+	if _, ok := c.retained[e]; ok {
+		delete(c.retained, e)
+	}
+	if c.lookup(e.ID, e.Sig) != e {
+		c.indexInsert(e)
+	}
+	e.Size = req.Size
+	e.Cost = req.Cost
+	e.Relations = req.Relations
+	e.Payload = req.Payload
+	e.resident = true
+	c.usedPayload += e.Size
+	c.resident++
+	c.ev.add(e, c.now)
+}
+
+// evict removes a resident entry, retaining its reference information when
+// the policy keeps it.
+func (c *Cache) evict(e *Entry, now float64) {
+	e.resident = false
+	e.Payload = nil
+	c.usedPayload -= e.Size
+	c.resident--
+	c.ev.remove(e)
+	c.stats.Evictions++
+	if c.retainsInfo() {
+		c.retained[e] = struct{}{}
+	} else {
+		c.indexRemove(e)
+	}
+	if c.cfg.OnEvict != nil {
+		c.cfg.OnEvict(e)
+	}
+}
+
+// pruneRetained drops stale retained-information records. LNC-R/LNC-RA use
+// the paper's §2.4 rule — drop a record when its profit falls below the
+// least profit among all cached retrieved sets — which self-scales the
+// retained footprint with cache pressure. LRU-K uses the timeout retention
+// of the original LRU-K design (Five Minute Rule by default), which §2.4
+// critiques; keeping both makes the contrast testable.
+func (c *Cache) pruneRetained(now float64) {
+	if len(c.retained) == 0 {
+		return
+	}
+	if c.cfg.Policy == LRUK {
+		for e := range c.retained {
+			if now-e.LastRef() > c.cfg.RetainedTimeout {
+				delete(c.retained, e)
+				c.indexRemove(e)
+				c.stats.RetainedDropped++
+			}
+		}
+		return
+	}
+	if c.resident == 0 {
+		return
+	}
+	minProfit := math.Inf(1)
+	c.eachResident(func(e *Entry) {
+		if p := e.Profit(now); p < minProfit {
+			minProfit = p
+		}
+	})
+	for e := range c.retained {
+		if e.Profit(now) < minProfit {
+			delete(c.retained, e)
+			c.indexRemove(e)
+			c.stats.RetainedDropped++
+		}
+	}
+}
+
+// eachResident visits every resident entry.
+func (c *Cache) eachResident(f func(*Entry)) {
+	for _, bucket := range c.index {
+		for _, e := range bucket {
+			if e.resident {
+				f(e)
+			}
+		}
+	}
+}
+
+// Invalidate drops every entry (resident or retained) whose query reads any
+// of the given base relations, implementing the §3 coherence hook. It
+// returns the number of resident sets dropped.
+func (c *Cache) Invalidate(relations ...string) int {
+	rels := make(map[string]bool, len(relations))
+	for _, r := range relations {
+		rels[r] = true
+	}
+	var victims []*Entry
+	for _, bucket := range c.index {
+		for _, e := range bucket {
+			if e.touchesAny(rels) {
+				victims = append(victims, e)
+			}
+		}
+	}
+	dropped := 0
+	for _, e := range victims {
+		if e.resident {
+			e.resident = false
+			e.Payload = nil
+			c.usedPayload -= e.Size
+			c.resident--
+			c.ev.remove(e)
+			dropped++
+			if c.cfg.OnEvict != nil {
+				c.cfg.OnEvict(e)
+			}
+		}
+		delete(c.retained, e)
+		c.indexRemove(e)
+		c.stats.Invalidations++
+	}
+	return dropped
+}
+
+// Entries returns a snapshot of all resident entries, sorted by ID. It is
+// meant for tests and diagnostics, not hot paths.
+func (c *Cache) Entries() []*Entry {
+	out := make([]*Entry, 0, c.resident)
+	c.eachResident(func(e *Entry) { out = append(out, e) })
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sampleFragmentation records one external-fragmentation sample: the
+// fraction of unused cache space right now.
+func (c *Cache) sampleFragmentation() {
+	if c.cfg.Capacity == Unlimited {
+		return // meaningless for the infinite cache
+	}
+	free := float64(c.FreeBytes())
+	if free < 0 {
+		free = 0
+	}
+	c.stats.FragSamples++
+	c.stats.FragSum += free / float64(c.cfg.Capacity)
+}
+
+// CheckInvariants verifies internal consistency and returns the first
+// violation found. Property-based tests drive it after random workloads.
+func (c *Cache) CheckInvariants() error {
+	var payload int64
+	resident := 0
+	total := 0
+	for sig, bucket := range c.index {
+		for _, e := range bucket {
+			total++
+			if e.Sig != sig {
+				return fmt.Errorf("entry %q indexed under wrong signature", e.ID)
+			}
+			if Signature(e.ID) != e.Sig {
+				return fmt.Errorf("entry %q has stale signature", e.ID)
+			}
+			_, isRetained := c.retained[e]
+			if e.resident == isRetained {
+				return fmt.Errorf("entry %q resident=%v retained=%v", e.ID, e.resident, isRetained)
+			}
+			if e.resident {
+				resident++
+				payload += e.Size
+			}
+		}
+	}
+	if resident != c.resident {
+		return fmt.Errorf("resident count %d, accounted %d", resident, c.resident)
+	}
+	if payload != c.usedPayload {
+		return fmt.Errorf("payload bytes %d, accounted %d", payload, c.usedPayload)
+	}
+	if total != c.resident+len(c.retained) {
+		return fmt.Errorf("index holds %d entries, want %d resident + %d retained",
+			total, c.resident, len(c.retained))
+	}
+	if c.ev.count() != c.resident {
+		return fmt.Errorf("evictor tracks %d entries, want %d", c.ev.count(), c.resident)
+	}
+	if c.cfg.Capacity != Unlimited && c.UsedBytes() > c.cfg.Capacity {
+		return fmt.Errorf("used %d exceeds capacity %d", c.UsedBytes(), c.cfg.Capacity)
+	}
+	return nil
+}
+
+// profitOf returns the aggregate profit of a candidate list (§2.2, eq. 5):
+// Σ λⱼcⱼ / Σ sⱼ.
+func profitOf(entries []*Entry, now float64) float64 {
+	var num, den float64
+	for _, e := range entries {
+		num += e.Rate(now) * e.Cost
+		den += float64(e.Size)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// eprofitOf returns the aggregate estimated profit (§2.2, eq. 8):
+// Σ cⱼ / Σ sⱼ.
+func eprofitOf(entries []*Entry) float64 {
+	var num, den float64
+	for _, e := range entries {
+		num += e.Cost
+		den += float64(e.Size)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// EvictorKind selects the victim-search data structure. Both produce
+// candidates in the policy's (tier, key) order; they trade exactness for
+// speed and are compared in the A3 ablation benchmark.
+type EvictorKind int
+
+const (
+	// ScanEvictor recomputes every entry's rank at selection time and
+	// sorts. Exact, O(n log n) per eviction.
+	ScanEvictor EvictorKind = iota
+	// HeapEvictor keeps per-policy heaps with lazily refreshed keys.
+	// Near-exact for time-decaying keys (LNC profits), exact for static
+	// keys, O(k log n) per eviction.
+	HeapEvictor
+)
+
+// String names the evictor kind.
+func (k EvictorKind) String() string {
+	if k == HeapEvictor {
+		return "heap"
+	}
+	return "scan"
+}
+
+// evictor maintains the set of resident entries and selects eviction
+// candidates.
+type evictor interface {
+	add(e *Entry, now float64)
+	remove(e *Entry)
+	touch(e *Entry, now float64)
+	// candidates returns a minimal prefix of resident entries, in eviction
+	// order, whose sizes sum to at least need. The call must not mutate
+	// residency; the cache decides whether to actually evict. It returns
+	// nil when the resident set cannot cover need.
+	candidates(need int64, now float64) []*Entry
+	count() int
+}
+
+func newEvictor(kind EvictorKind, r ranker) evictor {
+	if kind == HeapEvictor {
+		return &heapEvictor{r: r, items: make(map[*Entry]*heapItem)}
+	}
+	return &scanEvictor{r: r, entries: make(map[*Entry]struct{})}
+}
+
+// scanEvictor: exact selection by full sort.
+type scanEvictor struct {
+	r       ranker
+	entries map[*Entry]struct{}
+}
+
+func (s *scanEvictor) add(e *Entry, _ float64) { s.entries[e] = struct{}{} }
+func (s *scanEvictor) remove(e *Entry)         { delete(s.entries, e) }
+func (s *scanEvictor) touch(*Entry, float64)   {}
+func (s *scanEvictor) count() int              { return len(s.entries) }
+
+func (s *scanEvictor) candidates(need int64, now float64) []*Entry {
+	all := make([]*Entry, 0, len(s.entries))
+	for e := range s.entries {
+		all = append(all, e)
+	}
+	type ranked struct {
+		e    *Entry
+		tier int
+		key  float64
+	}
+	rs := make([]ranked, len(all))
+	for i, e := range all {
+		t, k := s.r.rank(e, now)
+		rs[i] = ranked{e, t, k}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].tier != rs[j].tier {
+			return rs[i].tier < rs[j].tier
+		}
+		if rs[i].key != rs[j].key {
+			return rs[i].key < rs[j].key
+		}
+		return rs[i].e.ID < rs[j].e.ID // deterministic tie-break
+	})
+	var out []*Entry
+	var freed int64
+	for _, r := range rs {
+		if freed >= need {
+			return out
+		}
+		out = append(out, r.e)
+		freed += r.e.Size
+	}
+	if freed >= need {
+		return out
+	}
+	return nil
+}
+
+// heapEvictor: lazy min-heap keyed by (tier, key) captured at push time.
+// Keys may go stale between touches (LNC profits decay as time advances);
+// candidates refreshes stale keys at most once per entry per call, which
+// bounds the work and makes the selection near-exact.
+type heapItem struct {
+	e    *Entry // nil when the item is stale
+	tier int
+	key  float64
+	id   string
+}
+
+type itemHeap []*heapItem
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].tier != h[j].tier {
+		return h[i].tier < h[j].tier
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].id < h[j].id
+}
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(*heapItem)) }
+func (h *itemHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h itemHeap) Peek() *heapItem    { return h[0] }
+func (h itemHeap) Empty() bool        { return len(h) == 0 }
+func (h itemHeap) stale(i *heapItem) bool { return i.e == nil }
+
+type heapEvictor struct {
+	r     ranker
+	h     itemHeap
+	items map[*Entry]*heapItem
+	n     int
+}
+
+func (he *heapEvictor) push(e *Entry, now float64) {
+	t, k := he.r.rank(e, now)
+	it := &heapItem{e: e, tier: t, key: k, id: e.ID}
+	he.items[e] = it
+	heap.Push(&he.h, it)
+}
+
+func (he *heapEvictor) add(e *Entry, now float64) {
+	he.push(e, now)
+	he.n++
+}
+
+func (he *heapEvictor) remove(e *Entry) {
+	if it, ok := he.items[e]; ok {
+		it.e = nil // lazy delete
+		delete(he.items, e)
+		he.n--
+	}
+}
+
+func (he *heapEvictor) touch(e *Entry, now float64) {
+	if it, ok := he.items[e]; ok {
+		it.e = nil
+	}
+	he.push(e, now)
+}
+
+func (he *heapEvictor) count() int { return he.n }
+
+// compact drops stale items when they dominate the heap.
+func (he *heapEvictor) compact() {
+	if len(he.h) < 64 || len(he.h) < 4*he.n {
+		return
+	}
+	live := he.h[:0]
+	for _, it := range he.h {
+		if it.e != nil {
+			live = append(live, it)
+		}
+	}
+	he.h = live
+	heap.Init(&he.h)
+}
+
+func (he *heapEvictor) candidates(need int64, now float64) []*Entry {
+	he.compact()
+	var out []*Entry
+	var popped []*heapItem
+	refreshed := make(map[*Entry]bool)
+	var freed int64
+	for freed < need && !he.h.Empty() {
+		it := heap.Pop(&he.h).(*heapItem)
+		e := it.e
+		if e == nil {
+			continue // stale
+		}
+		if !refreshed[e] {
+			refreshed[e] = true
+			// Refresh the key once per entry per call: stored LNC profits
+			// decay between touches, so re-rank and re-insert to restore
+			// ordering against the rest of the heap.
+			t, k := he.r.rank(e, now)
+			if t != it.tier || k != it.key {
+				it.e = nil
+				fresh := &heapItem{e: e, tier: t, key: k, id: e.ID}
+				he.items[e] = fresh
+				heap.Push(&he.h, fresh)
+				continue
+			}
+		}
+		out = append(out, e)
+		popped = append(popped, it)
+		freed += e.Size
+	}
+	// Non-destructive: restore popped items.
+	for _, it := range popped {
+		heap.Push(&he.h, it)
+	}
+	if freed >= need {
+		return out
+	}
+	return nil
+}

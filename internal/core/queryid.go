@@ -1,0 +1,67 @@
+// Package core implements WATCHMAN, the data warehouse intelligent cache
+// manager of Scheuermann, Shim and Vingralek (VLDB 1996): a cache of whole
+// retrieved sets with the LNC-R cache replacement algorithm, the LNC-A cache
+// admission algorithm, their combination LNC-RA, the retained-reference-
+// information policy of §2.4, and the baseline policies the paper compares
+// against (vanilla LRU, LRU-K, and the related-work baselines LFU and LCS).
+//
+// All time is logical (trace timestamps in seconds); the package never reads
+// the wall clock, so every simulation is deterministic.
+package core
+
+import "strings"
+
+// idSeparator is the single special character that replaces delimiter runs
+// when query IDs are compressed, per §3 of the paper ("the query string
+// compressed by substituting all delimiters with a single special
+// character").
+const idSeparator = '\x1f'
+
+// isDelimiter reports whether the byte is a query-string delimiter:
+// whitespace, commas, parentheses, and semicolons.
+func isDelimiter(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\r', ',', '(', ')', ';':
+		return true
+	}
+	return false
+}
+
+// CompressID canonicalizes a query string into a query ID by collapsing
+// every run of delimiters into one separator character and trimming
+// leading/trailing delimiters. Two query strings that differ only in
+// whitespace or punctuation spacing therefore map to the same ID.
+func CompressID(query string) string {
+	var b strings.Builder
+	b.Grow(len(query))
+	pendingSep := false
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		if isDelimiter(c) {
+			pendingSep = b.Len() > 0
+			continue
+		}
+		if pendingSep {
+			b.WriteByte(idSeparator)
+			pendingSep = false
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Signature returns the 64-bit FNV-1a hash of a query ID. The cache's
+// lookup structure buckets entries by signature and compares IDs exactly
+// only within a bucket, as described in §3 of the paper.
+func Signature(id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressID(t *testing.T) {
+	tests := []struct {
+		name  string
+		in    string
+		want  string
+		equal string // another raw string that must compress identically
+	}{
+		{
+			name:  "spaces collapse",
+			in:    "select  *   from t",
+			want:  "select\x1f*\x1ffrom\x1ft",
+			equal: "select * from t",
+		},
+		{
+			name: "mixed delimiters collapse",
+			in:   "select a, b from t;",
+			want: "select\x1fa\x1fb\x1ffrom\x1ft",
+		},
+		{
+			name: "parens are delimiters",
+			in:   "count(*)",
+			want: "count\x1f*",
+		},
+		{
+			name: "leading and trailing trimmed",
+			in:   "  select 1  ",
+			want: "select\x1f1",
+		},
+		{
+			name: "tabs and newlines",
+			in:   "select\t1\nfrom\r\nt",
+			want: "select\x1f1\x1ffrom\x1ft",
+		},
+		{name: "empty", in: "", want: ""},
+		{name: "only delimiters", in: " ,;() ", want: ""},
+		{name: "no delimiters", in: "abc", want: "abc"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CompressID(tc.in)
+			if got != tc.want {
+				t.Errorf("CompressID(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			if tc.equal != "" && CompressID(tc.equal) != got {
+				t.Errorf("CompressID(%q) != CompressID(%q)", tc.equal, tc.in)
+			}
+		})
+	}
+}
+
+func TestCompressIDIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := CompressID(s)
+		return CompressID(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressIDNeverContainsDelimiters(t *testing.T) {
+	f := func(s string) bool {
+		return !strings.ContainsAny(CompressID(s), " \t\n\r,();")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressIDDistinguishesTokens(t *testing.T) {
+	// Collapsing must not merge distinct tokens into one.
+	a := CompressID("select ab")
+	b := CompressID("select a b")
+	if a == b {
+		t.Fatalf("token boundary lost: %q == %q", a, b)
+	}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	if Signature("abc") != Signature("abc") {
+		t.Fatal("signature is not deterministic")
+	}
+	if Signature("abc") == Signature("abd") {
+		t.Fatal("trivially distinct strings collide (FNV-1a should separate them)")
+	}
+}
+
+func TestSignatureKnownValue(t *testing.T) {
+	// FNV-1a of the empty string is the offset basis.
+	if got := Signature(""); got != 14695981039346656037 {
+		t.Fatalf("Signature(\"\") = %d, want FNV-1a offset basis", got)
+	}
+}
+
+func TestSignatureSpread(t *testing.T) {
+	// Signatures of similar query strings should not cluster: check that
+	// 1000 generated IDs produce close to 1000 distinct signatures.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[Signature(CompressID("select sum(x) from t where k = "+strings.Repeat("i", i%7)+string(rune('a'+i%26))))] = true
+	}
+	if len(seen) < 170 { // IDs themselves repeat (7×26 distinct), all must hash apart
+		t.Fatalf("only %d distinct signatures", len(seen))
+	}
+}

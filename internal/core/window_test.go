@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefWindowBasics(t *testing.T) {
+	w := newRefWindow(3)
+	if w.count() != 0 || w.totalRefs() != 0 {
+		t.Fatal("fresh window is not empty")
+	}
+	if w.rate(10, 0) != 0 {
+		t.Fatal("empty window must have zero rate")
+	}
+
+	w.record(1)
+	if w.count() != 1 || w.last() != 1 || w.kth() != 1 {
+		t.Fatalf("after one record: count=%d last=%g kth=%g", w.count(), w.last(), w.kth())
+	}
+	w.record(2)
+	w.record(3)
+	if w.count() != 3 || w.last() != 3 || w.kth() != 1 {
+		t.Fatalf("after three records: count=%d last=%g kth=%g", w.count(), w.last(), w.kth())
+	}
+	// The fourth record evicts the oldest time from the window.
+	w.record(5)
+	if w.count() != 3 || w.last() != 5 || w.kth() != 2 {
+		t.Fatalf("after wraparound: count=%d last=%g kth=%g", w.count(), w.last(), w.kth())
+	}
+	if w.totalRefs() != 4 {
+		t.Fatalf("totalRefs = %d, want 4", w.totalRefs())
+	}
+}
+
+func TestRefWindowRateFormula(t *testing.T) {
+	// λ = k / (t − t_k), the paper's equation (3).
+	w := newRefWindow(2)
+	w.record(10)
+	w.record(20)
+	got := w.rate(30, 0)
+	want := 2.0 / (30 - 10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rate = %g, want %g", got, want)
+	}
+}
+
+func TestRefWindowPartialUsesAvailable(t *testing.T) {
+	// With fewer than K references, the maximal available number is used.
+	w := newRefWindow(5)
+	w.record(100)
+	got := w.rate(150, 0)
+	want := 1.0 / 50
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("partial-window rate = %g, want %g", got, want)
+	}
+}
+
+func TestRefWindowAging(t *testing.T) {
+	// Including the current time ages unreferenced sets: the rate must be
+	// strictly decreasing as now advances.
+	w := newRefWindow(3)
+	w.record(1)
+	w.record(2)
+	w.record(3)
+	prev := math.Inf(1)
+	for now := 4.0; now < 100; now += 7 {
+		r := w.rate(now, 0)
+		if r >= prev {
+			t.Fatalf("rate did not decay: %g -> %g at now=%g", prev, r, now)
+		}
+		prev = r
+	}
+}
+
+func TestRefWindowFloor(t *testing.T) {
+	w := newRefWindow(1)
+	w.record(100)
+	// Evaluated at the instant of its only reference, the raw formula
+	// would divide by ~zero; the floor caps the rate at 1/minDt.
+	if got, want := w.rate(100, 2.0), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("floored rate = %g, want %g", got, want)
+	}
+	// Once more time has passed than the floor, the floor is inert.
+	if got, want := w.rate(110, 2.0), 0.1; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rate = %g, want %g", got, want)
+	}
+}
+
+func TestRefWindowSameInstantFiniteRate(t *testing.T) {
+	w := newRefWindow(2)
+	w.record(5)
+	w.record(5)
+	r := w.rate(5, 0)
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("rate at zero elapsed time must be finite, got %g", r)
+	}
+}
+
+func TestRefWindowKOne(t *testing.T) {
+	w := newRefWindow(1)
+	for i := 0; i < 10; i++ {
+		w.record(float64(i))
+	}
+	if w.count() != 1 || w.kth() != 9 || w.last() != 9 {
+		t.Fatalf("K=1 window: count=%d kth=%g last=%g", w.count(), w.kth(), w.last())
+	}
+}
+
+func TestRefWindowMinimumCapacity(t *testing.T) {
+	w := newRefWindow(0) // clamps to 1
+	w.record(3)
+	if w.count() != 1 {
+		t.Fatalf("count = %d, want 1", w.count())
+	}
+}
+
+func TestRefWindowClone(t *testing.T) {
+	w := newRefWindow(3)
+	w.record(1)
+	w.record(2)
+	cp := w.clone()
+	w.record(3)
+	if cp.count() != 2 || cp.last() != 2 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestRefWindowInvariantsQuick(t *testing.T) {
+	f := func(times []float64, k uint8) bool {
+		w := newRefWindow(int(k%8) + 1)
+		now := 0.0
+		for _, dt := range times {
+			now += math.Abs(dt)
+			if math.IsNaN(now) || math.IsInf(now, 0) {
+				return true
+			}
+			w.record(now)
+			// kth never exceeds last; count bounded by capacity.
+			if w.kth() > w.last() {
+				return false
+			}
+			if w.count() > len(w.times) {
+				return false
+			}
+			if w.rate(now+1, 0) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+func TestYaoProperties(t *testing.T) {
+	// Bounds: 0 ≤ yao(p, m) ≤ min(p, m); monotone in m.
+	f := func(pRaw, mRaw uint16) bool {
+		p := float64(pRaw%1000) + 1
+		m := float64(mRaw % 5000)
+		y := yao(p, m)
+		if y < 0 || y > p+1e-9 || y > m+1e-9 {
+			return false
+		}
+		return yao(p, m+1) >= y-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Saturation: touching far more rows than pages reads every page.
+	if got := yao(100, 1e6); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("yao saturation = %g", got)
+	}
+	// One row touches one page.
+	if got := yao(100, 1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("yao(100,1) = %g", got)
+	}
+	if yao(0, 5) != 0 || yao(10, 0) != 0 {
+		t.Fatal("yao edge cases")
+	}
+}
+
+func TestCardenasProperties(t *testing.T) {
+	f := func(dRaw, nRaw uint16) bool {
+		d := float64(dRaw%1000) + 1
+		n := float64(nRaw % 5000)
+		c := cardenas(d, n)
+		return c >= 0 && c <= d+1e-9 && c <= n+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if got := cardenas(10, 1e9); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("cardenas saturation = %g", got)
+	}
+}
+
+// estimateVsExec runs both paths and checks the estimate is within rtol of
+// the executed truth (for counts) and exact for scan costs.
+func estimateVsExec(t *testing.T, e *Engine, n Node, rtol float64) {
+	t.Helper()
+	est, err := e.Estimate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cost, err := e.ExecuteCount(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows := float64(len(res.Rows))
+	if gotRows == 0 {
+		if est.Rows > 5 {
+			t.Fatalf("estimate %.1f rows for empty result", est.Rows)
+		}
+		return
+	}
+	if rel := math.Abs(est.Rows-gotRows) / gotRows; rel > rtol {
+		t.Fatalf("cardinality estimate %.1f vs actual %d (rel err %.2f > %.2f)",
+			est.Rows, len(res.Rows), rel, rtol)
+	}
+	if relc := math.Abs(est.Cost-float64(cost)) / float64(cost); relc > rtol {
+		t.Fatalf("cost estimate %.1f vs actual %d (rel err %.2f)", est.Cost, cost, relc)
+	}
+}
+
+func TestEstimateScanCrossValidation(t *testing.T) {
+	e := New(tinyDB())
+	estimateVsExec(t, e, &Scan{Rel: "t"}, 0.01)
+	estimateVsExec(t, e, &Scan{Rel: "t", Preds: []Pred{{Col: "grp", Op: OpEQ, Lo: 1}}}, 0.15)
+	estimateVsExec(t, e, &Scan{Rel: "t", Preds: []Pred{{Col: "val", Op: OpRange, Lo: 0, Hi: 49}}}, 0.15)
+	estimateVsExec(t, e, &Scan{
+		Rel:   "t",
+		Preds: []Pred{{Col: "id", Op: OpRange, Lo: 100, Hi: 499}},
+		Index: "id",
+	}, 0.05)
+}
+
+func TestEstimateJoinCrossValidation(t *testing.T) {
+	e := New(tinyDB())
+	estimateVsExec(t, e, &Join{
+		Left:     &Scan{Rel: "u", Cols: []string{"uid", "tref"}},
+		Right:    &Scan{Rel: "t", Cols: []string{"id", "grp"}},
+		LeftCol:  "tref",
+		RightCol: "id",
+	}, 0.05)
+}
+
+func TestEstimateAggregateCrossValidation(t *testing.T) {
+	e := New(tinyDB())
+	estimateVsExec(t, e, &Aggregate{
+		Input:   &Scan{Rel: "t", Cols: []string{"grp", "val"}},
+		GroupBy: []string{"grp"},
+		Aggs:    []AggSpec{{Kind: AggCount, As: "n"}},
+	}, 0.05)
+	estimateVsExec(t, e, &Aggregate{
+		Input: &Scan{Rel: "t", Cols: []string{"val"}},
+		Aggs:  []AggSpec{{Kind: AggSum, Col: "val", As: "s"}},
+	}, 0.01)
+}
+
+func TestEstimateProjectDedupCrossValidation(t *testing.T) {
+	e := New(tinyDB())
+	estimateVsExec(t, e, &Project{
+		Input: &Scan{Rel: "t", Cols: []string{"grp", "cat"}},
+		Cols:  []string{"grp", "cat"},
+		Dedup: true,
+	}, 0.1)
+}
+
+func TestEstimateSortLimit(t *testing.T) {
+	e := New(tinyDB())
+	est, err := e.Estimate(&Sort{
+		Input: &Scan{Rel: "t"},
+		By:    []string{"val"},
+		Limit: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 7 {
+		t.Fatalf("limited estimate = %g rows", est.Rows)
+	}
+}
+
+func TestEstimateSelectivityTightensCards(t *testing.T) {
+	e := New(tinyDB())
+	est, err := e.Estimate(&Scan{
+		Rel:   "t",
+		Preds: []Pred{{Col: "grp", Op: OpEQ, Lo: 2}},
+		Cols:  []string{"grp", "val"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Schema[0].Card != 1 {
+		t.Fatalf("equality predicate must pin the column cardinality, got %g", est.Schema[0].Card)
+	}
+}
+
+func TestEstimateBytesMatchesRowWidth(t *testing.T) {
+	e := New(tinyDB())
+	est, err := e.Estimate(&Scan{Rel: "t", Cols: []string{"id", "grp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bytes != est.Rows*12 {
+		t.Fatalf("bytes %g != rows %g × 12", est.Bytes, est.Rows)
+	}
+}
+
+func TestEstimateZeroSelectivity(t *testing.T) {
+	e := New(tinyDB())
+	est, err := e.Estimate(&Scan{Rel: "t", Preds: []Pred{{Col: "grp", Op: OpEQ, Lo: 99}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 0 {
+		t.Fatalf("out-of-domain equality must estimate 0 rows, got %g", est.Rows)
+	}
+	est, err = e.Estimate(&Scan{Rel: "t", Preds: []Pred{{Col: "val", Op: OpRange, Lo: 90, Hi: 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 0 {
+		t.Fatalf("inverted range must estimate 0 rows, got %g", est.Rows)
+	}
+}
+
+func TestEmitAccessMatchesExecutePages(t *testing.T) {
+	// For full scans and clustered ranges, EmitAccess must reference
+	// exactly the pages Execute references.
+	e := New(tinyDB())
+	for _, plan := range []Node{
+		&Scan{Rel: "t"},
+		&Scan{Rel: "t", Preds: []Pred{{Col: "id", Op: OpRange, Lo: 50, Hi: 449}}, Index: "id"},
+		&Join{
+			Left:     &Scan{Rel: "u", Cols: []string{"tref"}},
+			Right:    &Scan{Rel: "t", Cols: []string{"id"}},
+			LeftCol:  "tref",
+			RightCol: "id",
+		},
+	} {
+		var fromExec, fromAccess []uint64
+		if _, err := e.Execute(plan, storage.SinkFunc(func(id buffer.PageID) {
+			fromExec = append(fromExec, uint64(id))
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EmitAccess(plan, 1, storage.SinkFunc(func(id buffer.PageID) {
+			fromAccess = append(fromAccess, uint64(id))
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if len(fromExec) != len(fromAccess) {
+			t.Fatalf("page counts differ: exec %d vs access %d", len(fromExec), len(fromAccess))
+		}
+		for i := range fromExec {
+			if fromExec[i] != fromAccess[i] {
+				t.Fatalf("page %d differs", i)
+			}
+		}
+	}
+}
+
+func TestEmitAccessUnclusteredDeterministic(t *testing.T) {
+	e := New(tinyDB())
+	plan := &Scan{
+		Rel:   "t",
+		Preds: []Pred{{Col: "val", Op: OpEQ, Lo: 3}},
+		Index: "val",
+	}
+	collect := func(seed uint64) []uint64 {
+		var out []uint64
+		if _, err := e.EmitAccess(plan, seed, storage.SinkFunc(func(id buffer.PageID) {
+			out = append(out, uint64(id))
+		})); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(42), collect(42)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different page counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different pages")
+		}
+	}
+	c := collect(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical page sets (suspicious)")
+	}
+	// Cost returned must equal pages emitted and be close to the Yao
+	// estimate used by Estimate.
+	n, err := e.EmitAccess(plan, 7, &storage.CountingSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(n)-est.Cost) > est.Cost*0.2+2 {
+		t.Fatalf("access pages %d vs estimated cost %g", n, est.Cost)
+	}
+}

@@ -1,0 +1,379 @@
+// Package engine is the mini query engine behind the WATCHMAN reproduction.
+// It stands in for the Oracle 7 installation the paper collected traces from
+// (§4.1) and provides three evaluation paths over the synthetic databases in
+// package relation:
+//
+//   - Estimate: closed-form cardinality/size/cost estimation. Cost is
+//     measured in logical block reads, the paper's cost metric ("the number
+//     of disk block reads which would be done if no buffers were
+//     available"), so it is independent of buffer state.
+//   - EmitAccess: the page-reference pattern of a plan, streamed to a sink
+//     (usually the buffer pool) without materializing rows. Used by the
+//     buffer-interaction experiment (Figure 7).
+//   - Execute: actual row-at-a-time execution over the deterministic tuple
+//     generators, used at small scale to validate the estimator and by the
+//     runnable examples.
+//
+// Plans are trees of Scan, Join, Aggregate, Project and Sort nodes. Only
+// scans incur cost: the paper's workloads are I/O-dominated and all
+// operators above the scans run in memory.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// ColRef describes one column of an operator's output.
+type ColRef struct {
+	// Rel is the base relation the column originates from, or "" for
+	// computed columns (aggregates).
+	Rel string
+	// Name is the output column name, unique within a schema.
+	Name string
+	// Width is the stored width in bytes; result sizes are row count times
+	// the sum of widths.
+	Width int
+	// Card is the estimated number of distinct values in this column of
+	// the operator's output.
+	Card float64
+}
+
+// Schema is an ordered list of output columns.
+type Schema []ColRef
+
+// Index returns the position of the named column or −1.
+func (s Schema) Index(name string) int {
+	for i := range s {
+		if s[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowWidth returns the byte width of one output row.
+func (s Schema) RowWidth() int {
+	w := 0
+	for i := range s {
+		w += s[i].Width
+	}
+	return w
+}
+
+// Op is a predicate comparison operator.
+type Op int
+
+const (
+	// OpEQ matches values equal to Lo.
+	OpEQ Op = iota
+	// OpRange matches values in the closed interval [Lo, Hi].
+	OpRange
+)
+
+// Pred is a predicate over one column of a scan's relation. All predicates
+// on a scan are conjunctive.
+type Pred struct {
+	Col string
+	Op  Op
+	Lo  int64
+	Hi  int64 // used by OpRange only
+}
+
+// matches reports whether v satisfies the predicate.
+func (p *Pred) matches(v int64) bool {
+	switch p.Op {
+	case OpEQ:
+		return v == p.Lo
+	default:
+		return v >= p.Lo && v <= p.Hi
+	}
+}
+
+// selectivity returns the matching fraction of a column with the given
+// cardinality, assuming uniform values in [0, card).
+func (p *Pred) selectivity(card int64) float64 {
+	if card <= 0 {
+		return 1
+	}
+	switch p.Op {
+	case OpEQ:
+		if p.Lo < 0 || p.Lo >= card {
+			return 0
+		}
+		return 1 / float64(card)
+	default:
+		lo, hi := p.Lo, p.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= card {
+			hi = card - 1
+		}
+		if hi < lo {
+			return 0
+		}
+		return float64(hi-lo+1) / float64(card)
+	}
+}
+
+// Node is a relational operator in a plan tree.
+type Node interface {
+	// Schema resolves the operator's output schema against the database.
+	Schema(db *relation.Database) (Schema, error)
+}
+
+// Scan reads a base relation, applies conjunctive predicates and projects
+// columns. If Index names a column with a usable predicate, the scan is an
+// index scan: it touches only the pages that hold matching tuples (clustered
+// range access on sequential columns, Yao-estimated page subsets otherwise).
+type Scan struct {
+	Rel   string
+	Preds []Pred
+	// Index is the access-path column, or "" for a full sequential scan.
+	Index string
+	// Cols are the projected column names; empty means all columns.
+	Cols []string
+}
+
+// Schema implements Node.
+func (s *Scan) Schema(db *relation.Database) (Schema, error) {
+	rel, err := db.Relation(s.Rel)
+	if err != nil {
+		return nil, err
+	}
+	names := s.Cols
+	if len(names) == 0 {
+		names = make([]string, len(rel.Columns))
+		for i := range rel.Columns {
+			names[i] = rel.Columns[i].Name
+		}
+	}
+	out := make(Schema, len(names))
+	for i, n := range names {
+		ci, err := rel.ColumnIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		c := &rel.Columns[ci]
+		out[i] = ColRef{Rel: rel.Name, Name: c.Name, Width: c.Width, Card: float64(rel.Cardinality(ci))}
+	}
+	return out, nil
+}
+
+// Join is an equi-join of two inputs on one column from each side. The
+// output schema is the concatenation of the input schemas; column names must
+// remain unique (TPC-D's per-relation prefixes guarantee this).
+type Join struct {
+	Left, Right Node
+	// LeftCol and RightCol name the join columns in the respective input
+	// schemas.
+	LeftCol, RightCol string
+}
+
+// Schema implements Node.
+func (j *Join) Schema(db *relation.Database) (Schema, error) {
+	ls, err := j.Left.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := j.Right.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	if ls.Index(j.LeftCol) < 0 {
+		return nil, fmt.Errorf("engine: join: left input has no column %q", j.LeftCol)
+	}
+	if rs.Index(j.RightCol) < 0 {
+		return nil, fmt.Errorf("engine: join: right input has no column %q", j.RightCol)
+	}
+	out := make(Schema, 0, len(ls)+len(rs))
+	out = append(out, ls...)
+	for _, c := range rs {
+		if out.Index(c.Name) >= 0 {
+			return nil, fmt.Errorf("engine: join: duplicate output column %q", c.Name)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind int
+
+const (
+	// AggCount is COUNT(*).
+	AggCount AggKind = iota
+	// AggSum is SUM(col).
+	AggSum
+	// AggAvg is AVG(col), computed with integer division at finalize.
+	AggAvg
+	// AggMin is MIN(col).
+	AggMin
+	// AggMax is MAX(col).
+	AggMax
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	default:
+		return "max"
+	}
+}
+
+// AggSpec is one aggregate output of an Aggregate node.
+type AggSpec struct {
+	Kind AggKind
+	// Col is the aggregated input column; ignored by AggCount.
+	Col string
+	// As is the output column name.
+	As string
+}
+
+// Aggregate groups its input by the GroupBy columns and computes the Aggs.
+// With no GroupBy columns it produces exactly one row (scalar aggregation),
+// the shape of most of the paper's "statistical" warehouse queries.
+type Aggregate struct {
+	Input   Node
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// aggWidth is the output width of an aggregate column.
+const aggWidth = 8
+
+// Schema implements Node.
+func (a *Aggregate) Schema(db *relation.Database) (Schema, error) {
+	in, err := a.Input.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Schema, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		i := in.Index(g)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: aggregate: no group-by column %q", g)
+		}
+		out = append(out, in[i])
+	}
+	for _, sp := range a.Aggs {
+		if sp.As == "" {
+			return nil, fmt.Errorf("engine: aggregate: %s missing output name", sp.Kind)
+		}
+		if out.Index(sp.As) >= 0 {
+			return nil, fmt.Errorf("engine: aggregate: duplicate output column %q", sp.As)
+		}
+		if sp.Kind != AggCount {
+			if in.Index(sp.Col) < 0 {
+				return nil, fmt.Errorf("engine: aggregate: %s over unknown column %q", sp.Kind, sp.Col)
+			}
+		}
+		out = append(out, ColRef{Name: sp.As, Width: aggWidth, Card: 0})
+	}
+	return out, nil
+}
+
+// Project restricts the output columns of its input and optionally removes
+// duplicate rows. A multi-attribute dedup projection over a large relation
+// is the paper's canonical example of a cheap query with a huge retrieved
+// set — the case the admission algorithm exists to guard against.
+type Project struct {
+	Input Node
+	Cols  []string
+	// As optionally renames the output columns; when non-nil it must have
+	// the same length as Cols. Renaming disambiguates self-joins.
+	As    []string
+	Dedup bool
+}
+
+// Schema implements Node.
+func (p *Project) Schema(db *relation.Database) (Schema, error) {
+	in, err := p.Input.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Cols) == 0 {
+		return nil, fmt.Errorf("engine: project: no columns")
+	}
+	if p.As != nil && len(p.As) != len(p.Cols) {
+		return nil, fmt.Errorf("engine: project: %d aliases for %d columns", len(p.As), len(p.Cols))
+	}
+	out := make(Schema, len(p.Cols))
+	for i, n := range p.Cols {
+		j := in.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: project: no column %q", n)
+		}
+		out[i] = in[j]
+		if p.As != nil && p.As[i] != "" {
+			out[i].Name = p.As[i]
+		}
+	}
+	return out, nil
+}
+
+// Sort orders its input by the By columns (ascending, or descending when
+// Desc is set) and truncates to Limit rows when Limit > 0.
+type Sort struct {
+	Input Node
+	By    []string
+	Desc  bool
+	// Limit truncates output to the first Limit rows; 0 means no limit.
+	Limit int64
+}
+
+// Schema implements Node.
+func (s *Sort) Schema(db *relation.Database) (Schema, error) {
+	in, err := s.Input.Schema(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range s.By {
+		if in.Index(b) < 0 {
+			return nil, fmt.Errorf("engine: sort: no column %q", b)
+		}
+	}
+	if s.Limit < 0 {
+		return nil, fmt.Errorf("engine: sort: negative limit %d", s.Limit)
+	}
+	return in, nil
+}
+
+// BaseRelations returns the names of all base relations read by the plan,
+// in first-visit order. The cache-coherence hook invalidates cached
+// retrieved sets by these names.
+func BaseRelations(n Node) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Scan:
+			if !seen[t.Rel] {
+				seen[t.Rel] = true
+				out = append(out, t.Rel)
+			}
+		case *Join:
+			walk(t.Left)
+			walk(t.Right)
+		case *Aggregate:
+			walk(t.Input)
+		case *Project:
+			walk(t.Input)
+		case *Sort:
+			walk(t.Input)
+		}
+	}
+	walk(n)
+	return out
+}

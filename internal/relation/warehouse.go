@@ -1,0 +1,41 @@
+package relation
+
+import "fmt"
+
+// Warehouse builds the database of the paper's buffer-manager interaction
+// experiment (§4.2, Figure 7): "14 relations of total size 100 Mbytes".
+// Scale 1.0 yields that configuration; each relation is ≈ 100/14 MB with a
+// sequential key, three dimension columns of decreasing cardinality, a
+// measure column and filler padding the row to 160 bytes. All relations
+// share the same key domain so any pair can be joined.
+func Warehouse(scale float64, pageSize int) *Database {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	const nRels = 14
+	const rowWidth = 160
+	totalBytes := int64(100 << 20)
+	rows := scaleRows(totalBytes/int64(nRels)/rowWidth, scale)
+
+	db := &Database{
+		Name:      "warehouse",
+		PageSize:  pageSize,
+		Relations: make(map[string]*Relation, nRels),
+	}
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("rel%02d", i)
+		db.Relations[name] = &Relation{
+			Name: name, Rows: rows, Seed: 0x3a11 + uint64(i)*0x9e37,
+			Columns: []Column{
+				{Name: "id", Kind: KindSequential, Width: 8},
+				{Name: "day", Kind: KindUniform, Cardinality: 365, Width: 4},
+				{Name: "cat", Kind: KindUniform, Cardinality: 40, Width: 4},
+				{Name: "flag", Kind: KindUniform, Cardinality: 4, Width: 4},
+				{Name: "amount", Kind: KindUniform, Cardinality: 100_000, Width: 8},
+				{Name: "ref", Kind: KindUniform, Cardinality: rows, Width: 8},
+				{Name: "filler", Kind: KindUniform, Cardinality: 1 << 30, Width: rowWidth - 36},
+			},
+		}
+	}
+	return db
+}

@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format
+//
+// The binary codec is a compact, self-describing encoding:
+//
+//	magic    [8]byte  "WMTRACE1"
+//	name     string   (uvarint length + bytes)
+//	dbBytes  varint
+//	count    uvarint
+//	records  count × record
+//
+// Each record encodes time as an IEEE-754 bits uvarint and strings as
+// uvarint-length-prefixed bytes. Relations are a uvarint count followed by
+// strings. Query IDs and template names repeat heavily across a trace, so
+// both sides maintain a dictionary: the writer emits an index for strings
+// already seen, the reader resolves indices back.
+
+const binaryMagic = "WMTRACE1"
+
+var (
+	// ErrBadMagic is returned when decoding data that is not a binary trace.
+	ErrBadMagic = errors.New("trace: bad magic; not a binary trace")
+	// ErrCorrupt is returned when the binary stream is structurally invalid.
+	ErrCorrupt = errors.New("trace: corrupt binary stream")
+)
+
+type dictWriter struct {
+	w   *bufio.Writer
+	ids map[string]uint64
+	buf []byte
+}
+
+func (d *dictWriter) uvarint(v uint64) error {
+	d.buf = binary.AppendUvarint(d.buf[:0], v)
+	_, err := d.w.Write(d.buf)
+	return err
+}
+
+func (d *dictWriter) varint(v int64) error {
+	d.buf = binary.AppendVarint(d.buf[:0], v)
+	_, err := d.w.Write(d.buf)
+	return err
+}
+
+// str writes a dictionary-compressed string: index 0 means "new string
+// follows inline"; index n>0 refers to the (n−1)-th interned string.
+func (d *dictWriter) str(s string) error {
+	if idx, ok := d.ids[s]; ok {
+		return d.uvarint(idx + 1)
+	}
+	d.ids[s] = uint64(len(d.ids))
+	if err := d.uvarint(0); err != nil {
+		return err
+	}
+	if err := d.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := d.w.WriteString(s)
+	return err
+}
+
+// WriteBinary encodes the trace to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	d := &dictWriter{w: bufio.NewWriterSize(w, 1<<16), ids: make(map[string]uint64)}
+	if _, err := d.w.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := d.uvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := d.w.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := d.varint(t.DatabaseBytes); err != nil {
+		return err
+	}
+	if err := d.uvarint(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if err := d.uvarint(math.Float64bits(r.Time)); err != nil {
+			return err
+		}
+		if err := d.str(r.QueryID); err != nil {
+			return err
+		}
+		if err := d.str(r.Template); err != nil {
+			return err
+		}
+		if err := d.varint(int64(r.Class)); err != nil {
+			return err
+		}
+		if err := d.varint(r.Size); err != nil {
+			return err
+		}
+		if err := d.uvarint(math.Float64bits(r.Cost)); err != nil {
+			return err
+		}
+		if err := d.uvarint(uint64(len(r.Relations))); err != nil {
+			return err
+		}
+		for _, rel := range r.Relations {
+			if err := d.str(rel); err != nil {
+				return err
+			}
+		}
+	}
+	return d.w.Flush()
+}
+
+type dictReader struct {
+	r    *bufio.Reader
+	strs []string
+}
+
+func (d *dictReader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (d *dictReader) varint() (int64, error) {
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+func (d *dictReader) str() (string, error) {
+	idx, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if idx > 0 {
+		i := idx - 1
+		if i >= uint64(len(d.strs)) {
+			return "", fmt.Errorf("%w: string index %d out of range", ErrCorrupt, i)
+		}
+		return d.strs[i], nil
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("%w: unreasonable string length %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s := string(buf)
+	d.strs = append(d.strs, s)
+	return s, nil
+}
+
+// ReadBinary decodes a binary trace from r.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	d := &dictReader{r: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(d.r, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrCorrupt, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.r, nameBuf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t := &Trace{Name: string(nameBuf)}
+	if t.DatabaseBytes, err = d.varint(); err != nil {
+		return nil, err
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<28 {
+		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrCorrupt, count)
+	}
+	t.Records = make([]Record, count)
+	for i := uint64(0); i < count; i++ {
+		rec := &t.Records[i]
+		rec.Seq = int64(i)
+		tb, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Time = math.Float64frombits(tb)
+		if rec.QueryID, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.Template, err = d.str(); err != nil {
+			return nil, err
+		}
+		cls, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Class = int(cls)
+		if rec.Size, err = d.varint(); err != nil {
+			return nil, err
+		}
+		cb, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Cost = math.Float64frombits(cb)
+		nrel, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nrel > 1<<16 {
+			return nil, fmt.Errorf("%w: unreasonable relation count %d", ErrCorrupt, nrel)
+		}
+		if nrel > 0 {
+			rec.Relations = make([]string, nrel)
+			for j := uint64(0); j < nrel; j++ {
+				if rec.Relations[j], err = d.str(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// CSV trace format
+//
+// Header row: #name,<name>,<dbBytes>
+// Column row: seq,time,query_id,template,class,size,cost,relations
+// Relations are joined with ';' within the field.
+
+// WriteCSV encodes the trace to w as CSV with a leading metadata row.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#name", t.Name, strconv.FormatInt(t.DatabaseBytes, 10)}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"seq", "time", "query_id", "template", "class", "size", "cost", "relations"}); err != nil {
+		return err
+	}
+	row := make([]string, 8)
+	for i := range t.Records {
+		r := &t.Records[i]
+		row[0] = strconv.FormatInt(r.Seq, 10)
+		row[1] = strconv.FormatFloat(r.Time, 'g', -1, 64)
+		row[2] = r.QueryID
+		row[3] = r.Template
+		row[4] = strconv.Itoa(r.Class)
+		row[5] = strconv.FormatInt(r.Size, 10)
+		row[6] = strconv.FormatFloat(r.Cost, 'g', -1, 64)
+		row[7] = strings.Join(r.Relations, ";")
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a CSV trace produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV metadata: %w", err)
+	}
+	if len(meta) != 3 || meta[0] != "#name" {
+		return nil, fmt.Errorf("trace: CSV missing #name metadata row")
+	}
+	t := &Trace{Name: meta[1]}
+	if t.DatabaseBytes, err = strconv.ParseInt(meta[2], 10, 64); err != nil {
+		return nil, fmt.Errorf("trace: bad dbBytes %q: %w", meta[2], err)
+	}
+	if _, err := cr.Read(); err != nil { // column header
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV row: %w", err)
+		}
+		if len(row) != 8 {
+			return nil, fmt.Errorf("trace: CSV row has %d fields, want 8", len(row))
+		}
+		var rec Record
+		if rec.Seq, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: bad seq %q: %w", row[0], err)
+		}
+		if rec.Time, err = strconv.ParseFloat(row[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", row[1], err)
+		}
+		rec.QueryID = row[2]
+		rec.Template = row[3]
+		if rec.Class, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("trace: bad class %q: %w", row[4], err)
+		}
+		if rec.Size, err = strconv.ParseInt(row[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: bad size %q: %w", row[5], err)
+		}
+		if rec.Cost, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("trace: bad cost %q: %w", row[6], err)
+		}
+		if row[7] != "" {
+			rec.Relations = strings.Split(row[7], ";")
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}

@@ -1,0 +1,173 @@
+// Package trace defines the workload trace model used throughout the
+// WATCHMAN reproduction.
+//
+// A trace is a sequence of query submissions. Each record carries exactly
+// the information the paper's traces carried (§4.1): a timestamp of the
+// retrieval time, the query ID, the size of the retrieved set and the
+// execution cost of the query, where cost is the number of logical block
+// reads performed during execution ("the number of disk block reads which
+// would be done if no buffers were available"). Records additionally carry
+// the template that produced the query and the base relations it touches,
+// which the cache-coherence hook uses for invalidation.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is a single query submission in a workload trace.
+type Record struct {
+	// Seq is the 0-based position of the record within its trace.
+	Seq int64
+	// Time is the submission time in simulated seconds from trace start.
+	Time float64
+	// QueryID identifies the query. Two records with equal QueryID denote
+	// resubmissions of the same query and therefore the same retrieved set.
+	QueryID string
+	// Template names the query template that generated this instance
+	// (e.g. "tpcd.Q6" or "setquery.Q2A").
+	Template string
+	// Class is the workload class of the submission. Single-class traces
+	// use class 0; the multiclass extension (§6 of the paper) uses 0..n.
+	Class int
+	// Size is the size of the retrieved set in bytes.
+	Size int64
+	// Cost is the execution cost of the query in logical block reads.
+	Cost float64
+	// Relations lists the base relations the query reads, for coherence.
+	Relations []string
+}
+
+// Validate reports whether the record is internally consistent.
+func (r *Record) Validate() error {
+	switch {
+	case r.QueryID == "":
+		return fmt.Errorf("trace: record %d: empty query ID", r.Seq)
+	case r.Size <= 0:
+		return fmt.Errorf("trace: record %d (%s): non-positive size %d", r.Seq, r.QueryID, r.Size)
+	case r.Cost < 0:
+		return fmt.Errorf("trace: record %d (%s): negative cost %g", r.Seq, r.QueryID, r.Cost)
+	case r.Time < 0:
+		return fmt.Errorf("trace: record %d (%s): negative time %g", r.Seq, r.QueryID, r.Time)
+	}
+	return nil
+}
+
+// Trace is an in-memory workload trace.
+type Trace struct {
+	// Name labels the trace (e.g. "tpcd" or "setquery").
+	Name string
+	// DatabaseBytes is the total size of the database the trace was
+	// generated against. Cache sizes in the experiments are expressed as a
+	// percentage of this value.
+	DatabaseBytes int64
+	// Records are the submissions in submission order.
+	Records []Record
+}
+
+// Len returns the number of records in the trace.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Validate checks every record and the monotonicity of timestamps.
+func (t *Trace) Validate() error {
+	if t.DatabaseBytes <= 0 {
+		return fmt.Errorf("trace %q: non-positive database size %d", t.Name, t.DatabaseBytes)
+	}
+	prev := -1.0
+	for i := range t.Records {
+		r := &t.Records[i]
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.Seq != int64(i) {
+			return fmt.Errorf("trace %q: record %d has seq %d", t.Name, i, r.Seq)
+		}
+		if r.Time < prev {
+			return fmt.Errorf("trace %q: record %d: time %g precedes %g", t.Name, i, r.Time, prev)
+		}
+		prev = r.Time
+	}
+	return nil
+}
+
+// Stats summarizes a trace. The infinite-cache bounds are exact: with an
+// unlimited cache every resubmission after the first is a hit, so
+//
+//	HRinf  = Σᵢ (rᵢ−1) / Σᵢ rᵢ
+//	CSRinf = Σᵢ cᵢ(rᵢ−1) / Σᵢ cᵢrᵢ
+//
+// where rᵢ is the number of references to query Qᵢ and cᵢ its cost.
+type Stats struct {
+	Queries        int     // total submissions
+	Unique         int     // distinct query IDs
+	TotalCost      float64 // Σ cost over all submissions
+	TotalBytes     int64   // Σ size over all submissions
+	UniqueBytes    int64   // Σ size over distinct queries (working-set size)
+	MaxHitRatio    float64 // HRinf
+	MaxCostSavings float64 // CSRinf
+	Duration       float64 // last timestamp − first timestamp
+	Templates      map[string]int
+}
+
+// ComputeStats scans the trace once and returns its summary.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Templates: make(map[string]int)}
+	type per struct {
+		refs int
+		cost float64
+		size int64
+	}
+	byID := make(map[string]*per)
+	for i := range t.Records {
+		r := &t.Records[i]
+		s.Queries++
+		s.TotalCost += r.Cost
+		s.TotalBytes += r.Size
+		s.Templates[r.Template]++
+		p := byID[r.QueryID]
+		if p == nil {
+			p = &per{cost: r.Cost, size: r.Size}
+			byID[r.QueryID] = p
+		}
+		p.refs++
+	}
+	s.Unique = len(byID)
+	var hitNum, hitDen, csrNum, csrDen float64
+	for _, p := range byID {
+		s.UniqueBytes += p.size
+		hitNum += float64(p.refs - 1)
+		hitDen += float64(p.refs)
+		csrNum += p.cost * float64(p.refs-1)
+		csrDen += p.cost * float64(p.refs)
+	}
+	if hitDen > 0 {
+		s.MaxHitRatio = hitNum / hitDen
+	}
+	if csrDen > 0 {
+		s.MaxCostSavings = csrNum / csrDen
+	}
+	if n := len(t.Records); n > 0 {
+		s.Duration = t.Records[n-1].Time - t.Records[0].Time
+	}
+	return s
+}
+
+// String renders the stats as a short human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries=%d unique=%d totalCost=%.0f workingSet=%dB maxHR=%.3f maxCSR=%.3f",
+		s.Queries, s.Unique, s.TotalCost, s.UniqueBytes, s.MaxHitRatio, s.MaxCostSavings)
+	return b.String()
+}
+
+// TemplateNames returns the template labels seen in the stats, sorted.
+func (s Stats) TemplateNames() []string {
+	names := make([]string, 0, len(s.Templates))
+	for n := range s.Templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

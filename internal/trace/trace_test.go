@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleTrace builds a small deterministic trace.
+func sampleTrace() *Trace {
+	return &Trace{
+		Name:          "sample",
+		DatabaseBytes: 1 << 20,
+		Records: []Record{
+			{Seq: 0, Time: 1, QueryID: "q1", Template: "t.a", Size: 100, Cost: 10, Relations: []string{"r1", "r2"}},
+			{Seq: 1, Time: 2.5, QueryID: "q2", Template: "t.b", Size: 200, Cost: 20},
+			{Seq: 2, Time: 3, QueryID: "q1", Template: "t.a", Size: 100, Cost: 10, Relations: []string{"r1", "r2"}},
+			{Seq: 3, Time: 7, QueryID: "q3", Template: "t.b", Class: 1, Size: 50, Cost: 40, Relations: []string{"r3"}},
+		},
+	}
+}
+
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	tr := &Trace{Name: fmt.Sprintf("rnd%d", rng.Int()), DatabaseBytes: rng.Int63n(1<<30) + 1}
+	now := 0.0
+	for i := 0; i < n; i++ {
+		now += rng.Float64() * 3
+		rec := Record{
+			Seq:      int64(i),
+			Time:     now,
+			QueryID:  fmt.Sprintf("query-%d with text %d", rng.Intn(n/2+1), rng.Intn(5)),
+			Template: fmt.Sprintf("tpl%d", rng.Intn(6)),
+			Class:    rng.Intn(3),
+			Size:     rng.Int63n(1e6) + 1,
+			Cost:     float64(rng.Intn(100000)) + 0.5,
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			rec.Relations = append(rec.Relations, fmt.Sprintf("rel%d", rng.Intn(8)))
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+func tracesEqual(a, b *Trace) error {
+	if a.Name != b.Name || a.DatabaseBytes != b.DatabaseBytes || len(a.Records) != len(b.Records) {
+		return fmt.Errorf("header mismatch: %q/%d/%d vs %q/%d/%d",
+			a.Name, a.DatabaseBytes, len(a.Records), b.Name, b.DatabaseBytes, len(b.Records))
+	}
+	for i := range a.Records {
+		x, y := a.Records[i], b.Records[i]
+		if x.Seq != y.Seq || x.Time != y.Time || x.QueryID != y.QueryID ||
+			x.Template != y.Template || x.Class != y.Class || x.Size != y.Size || x.Cost != y.Cost {
+			return fmt.Errorf("record %d: %+v vs %+v", i, x, y)
+		}
+		if len(x.Relations) != len(y.Relations) {
+			return fmt.Errorf("record %d relations: %v vs %v", i, x.Relations, y.Relations)
+		}
+		for j := range x.Relations {
+			if x.Relations[j] != y.Relations[j] {
+				return fmt.Errorf("record %d relation %d differs", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracesEqual(tr, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracesEqual(tr, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, rng.Intn(60)+1)
+		var bin, csv bytes.Buffer
+		if err := WriteBinary(&bin, tr); err != nil {
+			return false
+		}
+		if err := WriteCSV(&csv, tr); err != nil {
+			return false
+		}
+		fromBin, err := ReadBinary(&bin)
+		if err != nil {
+			return false
+		}
+		fromCSV, err := ReadCSV(&csv)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, fromBin) == nil && tracesEqual(tr, fromCSV) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryDictionaryCompression(t *testing.T) {
+	// Repeated query IDs must be emitted once: the encoding of a trace
+	// with one distinct query must be much smaller than 100 copies of it.
+	tr := &Trace{Name: "d", DatabaseBytes: 1}
+	long := strings.Repeat("select something very long from a table ", 10)
+	for i := 0; i < 100; i++ {
+		tr.Records = append(tr.Records, Record{
+			Seq: int64(i), Time: float64(i), QueryID: long, Template: "t", Size: 1, Cost: 1,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > len(long)+100*32 {
+		t.Fatalf("dictionary compression ineffective: %d bytes", buf.Len())
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream must fail")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, 12, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes must fail", cut)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no,metadata,row\nseq,time\n",
+		"#name,x\n", // wrong metadata arity
+		"#name,x,notanumber\nseq,time,query_id,template,class,size,cost,relations\n",
+		"#name,x,10\nseq,time,query_id,template,class,size,cost,relations\n1,notafloat,q,t,0,1,1,\n",
+		"#name,x,10\nseq,time,query_id,template,class,size,cost,relations\n1,1,q,t,0,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTrace()
+	bad.Records[2].Time = 0.5 // before record 1
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotonic time must fail validation")
+	}
+	bad = sampleTrace()
+	bad.Records[1].Size = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("non-positive size must fail validation")
+	}
+	bad = sampleTrace()
+	bad.Records[0].QueryID = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty query ID must fail validation")
+	}
+	bad = sampleTrace()
+	bad.Records[3].Seq = 7
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong sequence numbering must fail validation")
+	}
+	bad = sampleTrace()
+	bad.DatabaseBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero database size must fail validation")
+	}
+	bad = sampleTrace()
+	bad.Records[0].Cost = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost must fail validation")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(sampleTrace())
+	if s.Queries != 4 || s.Unique != 3 {
+		t.Fatalf("queries=%d unique=%d", s.Queries, s.Unique)
+	}
+	if s.TotalCost != 80 {
+		t.Fatalf("total cost = %g", s.TotalCost)
+	}
+	if s.TotalBytes != 450 || s.UniqueBytes != 350 {
+		t.Fatalf("bytes=%d unique=%d", s.TotalBytes, s.UniqueBytes)
+	}
+	// q1 referenced twice: HRinf = 1/4; CSRinf = 10/80.
+	if s.MaxHitRatio != 0.25 {
+		t.Fatalf("maxHR = %g", s.MaxHitRatio)
+	}
+	if s.MaxCostSavings != 0.125 {
+		t.Fatalf("maxCSR = %g", s.MaxCostSavings)
+	}
+	if s.Duration != 6 {
+		t.Fatalf("duration = %g", s.Duration)
+	}
+	if s.Templates["t.a"] != 2 || s.Templates["t.b"] != 2 {
+		t.Fatalf("templates = %v", s.Templates)
+	}
+	names := s.TemplateNames()
+	if len(names) != 2 || names[0] != "t.a" || names[1] != "t.b" {
+		t.Fatalf("template names = %v", names)
+	}
+	if !strings.Contains(s.String(), "queries=4") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&Trace{Name: "empty", DatabaseBytes: 1})
+	if s.MaxHitRatio != 0 || s.MaxCostSavings != 0 || s.Queries != 0 {
+		t.Fatalf("empty trace stats = %+v", s)
+	}
+}
+
+func TestStatsBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, rng.Intn(100)+1)
+		s := ComputeStats(tr)
+		if s.MaxHitRatio < 0 || s.MaxHitRatio >= 1 {
+			return false
+		}
+		if s.MaxCostSavings < 0 || s.MaxCostSavings >= 1 {
+			return false
+		}
+		// Cost-weighting cannot create savings out of nothing: both bounds
+		// are zero iff there are no repeats.
+		if (s.MaxHitRatio == 0) != (s.MaxCostSavings == 0) {
+			return false
+		}
+		return s.Unique <= s.Queries && !math.IsNaN(s.TotalCost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

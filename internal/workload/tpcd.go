@@ -1,0 +1,576 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// This file defines the 17 TPC-D-like query templates (the benchmark's 17
+// read-only templates; the two update functions are excluded exactly as in
+// §4.1 of the paper). Each template mirrors the join/aggregation shape of
+// its TPC-D counterpart over the synthetic schema and draws its parameters
+// uniformly from intervals sized like the specification's, which is what
+// produces the paper's drill-down skew: template instance spaces below range
+// from 4 (q13) to several million (q16), so some queries repeat hundreds of
+// times in a 17 000-query trace and others never do.
+
+// dateDays must match the schema's date-domain cardinality.
+const dateDays = 2557
+
+// TPCDTemplates builds the template set for a TPC-D database.
+func TPCDTemplates(db *relation.Database) []*Template {
+	ord := db.MustRelation("orders")
+	part := db.MustRelation("part")
+
+	partRetailCard := part.Columns[part.MustColumnIndex("p_retailprice")].Cardinality
+	clerkCard := ord.Columns[ord.MustColumnIndex("o_clerk")].Cardinality
+
+	ts := []*Template{
+		{
+			// Q1: pricing summary report. Params: shipdate cutoff delta.
+			Name: "tpcd.q1", Instances: 61,
+			Gen: func(r *rand.Rand) Query {
+				delta := 60 + uniformInt(r, 61)
+				cutoff := int64(dateDays) - 1 - delta
+				return Query{
+					ID: fmt.Sprintf("select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice), avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*) from lineitem where l_shipdate <= %d group by l_returnflag, l_linestatus", cutoff),
+					Plan: &engine.Aggregate{
+						Input: &engine.Scan{
+							Rel:   "lineitem",
+							Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: 0, Hi: cutoff}},
+							Cols:  []string{"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount"},
+						},
+						GroupBy: []string{"l_returnflag", "l_linestatus"},
+						Aggs: []engine.AggSpec{
+							{Kind: engine.AggSum, Col: "l_quantity", As: "sum_qty"},
+							{Kind: engine.AggSum, Col: "l_extendedprice", As: "sum_price"},
+							{Kind: engine.AggAvg, Col: "l_quantity", As: "avg_qty"},
+							{Kind: engine.AggAvg, Col: "l_extendedprice", As: "avg_price"},
+							{Kind: engine.AggAvg, Col: "l_discount", As: "avg_disc"},
+							{Kind: engine.AggCount, As: "count_order"},
+						},
+					},
+				}
+			},
+		},
+		{
+			// Q2: minimum-cost supplier. Params: part size, type, region.
+			Name: "tpcd.q2", Instances: 50 * 150 * 5,
+			Gen: func(r *rand.Rand) Query {
+				size := uniformInt(r, 50)
+				ptype := uniformInt(r, 150)
+				region := uniformInt(r, 5)
+				return Query{
+					ID: fmt.Sprintf("select s_acctbal, s_name, n_name, p_partkey from part, partsupp, supplier, nation where p_size = %d and p_type = %d and n_regionkey = %d and p_partkey = ps_partkey and ps_suppkey = s_suppkey and s_nationkey = n_nationkey", size, ptype, region),
+					Plan: &engine.Join{
+						Left: &engine.Join{
+							Left: &engine.Join{
+								Left: &engine.Scan{
+									Rel: "part",
+									Preds: []engine.Pred{
+										{Col: "p_size", Op: engine.OpEQ, Lo: size},
+										{Col: "p_type", Op: engine.OpEQ, Lo: ptype},
+									},
+									Cols: []string{"p_partkey", "p_mfgr"},
+								},
+								Right: &engine.Scan{
+									Rel:  "partsupp",
+									Cols: []string{"ps_partkey", "ps_suppkey", "ps_supplycost"},
+								},
+								LeftCol: "p_partkey", RightCol: "ps_partkey",
+							},
+							Right: &engine.Scan{
+								Rel:  "supplier",
+								Cols: []string{"s_suppkey", "s_name", "s_acctbal", "s_nationkey"},
+							},
+							LeftCol: "ps_suppkey", RightCol: "s_suppkey",
+						},
+						Right: &engine.Scan{
+							Rel:   "nation",
+							Preds: []engine.Pred{{Col: "n_regionkey", Op: engine.OpEQ, Lo: region}},
+							Cols:  []string{"n_nationkey", "n_name"},
+						},
+						LeftCol: "s_nationkey", RightCol: "n_nationkey",
+					},
+				}
+			},
+		},
+		{
+			// Q3: shipping priority. Params: market segment, date.
+			Name: "tpcd.q3", Instances: 5 * 31,
+			Gen: func(r *rand.Rand) Query {
+				seg := uniformInt(r, 5)
+				date := 1155 + uniformInt(r, 31) // a March-1995-like window
+				return Query{
+					ID: fmt.Sprintf("select l_orderkey, sum(l_extendedprice), o_orderdate, o_shippriority from customer, orders, lineitem where c_mktsegment = %d and o_orderdate < %d and l_shipdate > %d and c_custkey = o_custkey and l_orderkey = o_orderkey group by l_orderkey, o_orderdate, o_shippriority order by revenue desc limit 10", seg, date, date),
+					Plan: &engine.Sort{
+						Input: &engine.Aggregate{
+							Input: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Scan{
+										Rel:   "customer",
+										Preds: []engine.Pred{{Col: "c_mktsegment", Op: engine.OpEQ, Lo: seg}},
+										Cols:  []string{"c_custkey"},
+									},
+									Right: &engine.Scan{
+										Rel:   "orders",
+										Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: 0, Hi: date - 1}},
+										Cols:  []string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+									},
+									LeftCol: "c_custkey", RightCol: "o_custkey",
+								},
+								Right: &engine.Scan{
+									Rel:   "lineitem",
+									Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: date + 1, Hi: dateDays - 1}},
+									Cols:  []string{"l_orderkey", "l_extendedprice"},
+								},
+								LeftCol: "o_orderkey", RightCol: "l_orderkey",
+							},
+							GroupBy: []string{"l_orderkey", "o_orderdate", "o_shippriority"},
+							Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"}},
+						},
+						By: []string{"revenue"}, Desc: true, Limit: 10,
+					},
+				}
+			},
+		},
+		{
+			// Q4: order priority checking. Params: quarter start.
+			Name: "tpcd.q4", Instances: 28,
+			Gen: func(r *rand.Rand) Query {
+				q := uniformInt(r, 28) * 90
+				return Query{
+					ID: fmt.Sprintf("select o_orderpriority, count(*) from orders, lineitem where o_orderdate >= %d and o_orderdate < %d and l_receiptdate between %d and %d and l_orderkey = o_orderkey group by o_orderpriority", q, q+90, q, q+120),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{
+								Rel:   "orders",
+								Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: q, Hi: q + 89}},
+								Cols:  []string{"o_orderkey", "o_orderpriority"},
+							},
+							Right: &engine.Scan{
+								Rel:   "lineitem",
+								Preds: []engine.Pred{{Col: "l_receiptdate", Op: engine.OpRange, Lo: q, Hi: q + 120}},
+								Cols:  []string{"l_orderkey"},
+							},
+							LeftCol: "o_orderkey", RightCol: "l_orderkey",
+						},
+						GroupBy: []string{"o_orderpriority"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggCount, As: "order_count"}},
+					},
+				}
+			},
+		},
+		{
+			// Q5: local supplier volume. Params: region, order year.
+			Name: "tpcd.q5", Instances: 5 * 7,
+			Gen: func(r *rand.Rand) Query {
+				region := uniformInt(r, 5)
+				year := uniformInt(r, 7) * 365
+				return Query{
+					ID: fmt.Sprintf("select n_name, sum(l_extendedprice) from customer, orders, lineitem, supplier, nation where n_regionkey = %d and o_orderdate >= %d and o_orderdate < %d and c_custkey = o_custkey and l_orderkey = o_orderkey and l_suppkey = s_suppkey and s_nationkey = n_nationkey group by n_name", region, year, year+365),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Join{
+										Left: &engine.Scan{Rel: "customer", Cols: []string{"c_custkey"}},
+										Right: &engine.Scan{
+											Rel:   "orders",
+											Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: year, Hi: year + 364}},
+											Cols:  []string{"o_orderkey", "o_custkey"},
+										},
+										LeftCol: "c_custkey", RightCol: "o_custkey",
+									},
+									Right:   &engine.Scan{Rel: "lineitem", Cols: []string{"l_orderkey", "l_suppkey", "l_extendedprice"}},
+									LeftCol: "o_orderkey", RightCol: "l_orderkey",
+								},
+								Right:   &engine.Scan{Rel: "supplier", Cols: []string{"s_suppkey", "s_nationkey"}},
+								LeftCol: "l_suppkey", RightCol: "s_suppkey",
+							},
+							Right: &engine.Scan{
+								Rel:   "nation",
+								Preds: []engine.Pred{{Col: "n_regionkey", Op: engine.OpEQ, Lo: region}},
+								Cols:  []string{"n_nationkey", "n_name"},
+							},
+							LeftCol: "s_nationkey", RightCol: "n_nationkey",
+						},
+						GroupBy: []string{"n_name"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"}},
+					},
+				}
+			},
+		},
+		{
+			// Q6: forecasting revenue change. Params: year, discount, quantity.
+			Name: "tpcd.q6", Instances: 7 * 9 * 2,
+			Gen: func(r *rand.Rand) Query {
+				year := uniformInt(r, 7) * 365
+				disc := uniformInt(r, 9)
+				qty := 24 + uniformInt(r, 2)
+				return Query{
+					ID: fmt.Sprintf("select sum(l_extendedprice) from lineitem where l_shipdate >= %d and l_shipdate < %d and l_discount between %d and %d and l_quantity < %d", year, year+365, disc, disc+2, qty),
+					Plan: &engine.Aggregate{
+						Input: &engine.Scan{
+							Rel: "lineitem",
+							Preds: []engine.Pred{
+								{Col: "l_shipdate", Op: engine.OpRange, Lo: year, Hi: year + 364},
+								{Col: "l_discount", Op: engine.OpRange, Lo: disc, Hi: disc + 2},
+								{Col: "l_quantity", Op: engine.OpRange, Lo: 0, Hi: qty - 1},
+							},
+							Cols: []string{"l_extendedprice"},
+						},
+						Aggs: []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"}},
+					},
+				}
+			},
+		},
+		{
+			// Q7: volume shipping between two nations. Params: nation pair.
+			Name: "tpcd.q7", Instances: 25 * 24,
+			Gen: func(r *rand.Rand) Query {
+				n1 := uniformInt(r, 25)
+				n2 := uniformInt(r, 24)
+				if n2 >= n1 {
+					n2++
+				}
+				return Query{
+					ID: fmt.Sprintf("select sum(l_extendedprice) from supplier, lineitem, orders, customer where s_nationkey = %d and c_nationkey = %d and s_suppkey = l_suppkey and o_orderkey = l_orderkey and c_custkey = o_custkey", n1, n2),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Scan{
+										Rel:   "supplier",
+										Preds: []engine.Pred{{Col: "s_nationkey", Op: engine.OpEQ, Lo: n1}},
+										Cols:  []string{"s_suppkey"},
+									},
+									Right:   &engine.Scan{Rel: "lineitem", Cols: []string{"l_suppkey", "l_orderkey", "l_extendedprice"}},
+									LeftCol: "s_suppkey", RightCol: "l_suppkey",
+								},
+								Right:   &engine.Scan{Rel: "orders", Cols: []string{"o_orderkey", "o_custkey"}},
+								LeftCol: "l_orderkey", RightCol: "o_orderkey",
+							},
+							Right: &engine.Scan{
+								Rel:   "customer",
+								Preds: []engine.Pred{{Col: "c_nationkey", Op: engine.OpEQ, Lo: n2}},
+								Cols:  []string{"c_custkey"},
+							},
+							LeftCol: "o_custkey", RightCol: "c_custkey",
+						},
+						Aggs: []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"}},
+					},
+				}
+			},
+		},
+		{
+			// Q8: national market share. Params: part type, region, 2-year window.
+			Name: "tpcd.q8", Instances: 150 * 5,
+			Gen: func(r *rand.Rand) Query {
+				ptype := uniformInt(r, 150)
+				region := uniformInt(r, 5)
+				return Query{
+					ID: fmt.Sprintf("select sum(l_extendedprice) from part, lineitem, orders, customer, nation where p_type = %d and n_regionkey = %d and o_orderdate between 365 and 1094 and p_partkey = l_partkey and l_orderkey = o_orderkey and o_custkey = c_custkey and c_nationkey = n_nationkey", ptype, region),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Join{
+										Left: &engine.Scan{
+											Rel:   "part",
+											Preds: []engine.Pred{{Col: "p_type", Op: engine.OpEQ, Lo: ptype}},
+											Cols:  []string{"p_partkey"},
+										},
+										Right:   &engine.Scan{Rel: "lineitem", Cols: []string{"l_partkey", "l_orderkey", "l_extendedprice"}},
+										LeftCol: "p_partkey", RightCol: "l_partkey",
+									},
+									Right: &engine.Scan{
+										Rel:   "orders",
+										Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: 365, Hi: 1094}},
+										Cols:  []string{"o_orderkey", "o_custkey"},
+									},
+									LeftCol: "l_orderkey", RightCol: "o_orderkey",
+								},
+								Right:   &engine.Scan{Rel: "customer", Cols: []string{"c_custkey", "c_nationkey"}},
+								LeftCol: "o_custkey", RightCol: "c_custkey",
+							},
+							Right: &engine.Scan{
+								Rel:   "nation",
+								Preds: []engine.Pred{{Col: "n_regionkey", Op: engine.OpEQ, Lo: region}},
+								Cols:  []string{"n_nationkey"},
+							},
+							LeftCol: "c_nationkey", RightCol: "n_nationkey",
+						},
+						Aggs: []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "mkt_share"}},
+					},
+				}
+			},
+		},
+		{
+			// Q9: product type profit. Params: a 1/92 slice of the part price
+			// domain standing in for the benchmark's 92 part-name colors.
+			Name: "tpcd.q9", Instances: 92,
+			Gen: func(r *rand.Rand) Query {
+				c := uniformInt(r, 92)
+				w := partRetailCard / 92
+				lo := c * w
+				return Query{
+					ID: fmt.Sprintf("select n_name, sum(l_extendedprice) from part, lineitem, supplier, nation where p_retailprice between %d and %d and p_partkey = l_partkey and l_suppkey = s_suppkey and s_nationkey = n_nationkey group by n_name", lo, lo+w-1),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Scan{
+										Rel:   "part",
+										Preds: []engine.Pred{{Col: "p_retailprice", Op: engine.OpRange, Lo: lo, Hi: lo + w - 1}},
+										Cols:  []string{"p_partkey"},
+									},
+									Right:   &engine.Scan{Rel: "lineitem", Cols: []string{"l_partkey", "l_suppkey", "l_extendedprice"}},
+									LeftCol: "p_partkey", RightCol: "l_partkey",
+								},
+								Right:   &engine.Scan{Rel: "supplier", Cols: []string{"s_suppkey", "s_nationkey"}},
+								LeftCol: "l_suppkey", RightCol: "s_suppkey",
+							},
+							Right:   &engine.Scan{Rel: "nation", Cols: []string{"n_nationkey", "n_name"}},
+							LeftCol: "s_nationkey", RightCol: "n_nationkey",
+						},
+						GroupBy: []string{"n_name"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "profit"}},
+					},
+				}
+			},
+		},
+		{
+			// Q10: returned items. Params: quarter within a two-year window.
+			// Returns the full ranked customer list (the spec's unlimited
+			// result), giving TPC-D a family of repeating tens-of-KB sets
+			// that keep vanilla LRU from converging within the 5% sweep.
+			Name: "tpcd.q10", Instances: 24,
+			Gen: func(r *rand.Rand) Query {
+				m := 365 + uniformInt(r, 24)*30
+				return Query{
+					ID: fmt.Sprintf("select c_custkey, c_name, sum(l_extendedprice) from customer, orders, lineitem where o_orderdate between %d and %d and l_returnflag = 0 and c_custkey = o_custkey and l_orderkey = o_orderkey group by c_custkey, c_name order by revenue desc", m, m+89),
+					Plan: &engine.Sort{
+						Input: &engine.Aggregate{
+							Input: &engine.Join{
+								Left: &engine.Join{
+									Left: &engine.Scan{Rel: "customer", Cols: []string{"c_custkey", "c_name"}},
+									Right: &engine.Scan{
+										Rel:   "orders",
+										Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: m, Hi: m + 89}},
+										Cols:  []string{"o_orderkey", "o_custkey"},
+									},
+									LeftCol: "c_custkey", RightCol: "o_custkey",
+								},
+								Right: &engine.Scan{
+									Rel:   "lineitem",
+									Preds: []engine.Pred{{Col: "l_returnflag", Op: engine.OpEQ, Lo: 0}},
+									Cols:  []string{"l_orderkey", "l_extendedprice"},
+								},
+								LeftCol: "o_orderkey", RightCol: "l_orderkey",
+							},
+							GroupBy: []string{"c_custkey", "c_name"},
+							Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"}},
+						},
+						By: []string{"revenue"}, Desc: true,
+					},
+				}
+			},
+		},
+		{
+			// Q11: important stock identification. Params: nation. Produces a
+			// large retrieved set from a comparatively cheap two-relation
+			// join — an admission-policy stress case.
+			Name: "tpcd.q11", Instances: 25,
+			Gen: func(r *rand.Rand) Query {
+				n := uniformInt(r, 25)
+				return Query{
+					ID: fmt.Sprintf("select ps_partkey, sum(ps_supplycost) from partsupp, supplier where s_nationkey = %d and ps_suppkey = s_suppkey group by ps_partkey", n),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{Rel: "partsupp", Cols: []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}},
+							Right: &engine.Scan{
+								Rel:   "supplier",
+								Preds: []engine.Pred{{Col: "s_nationkey", Op: engine.OpEQ, Lo: n}},
+								Cols:  []string{"s_suppkey"},
+							},
+							LeftCol: "ps_suppkey", RightCol: "s_suppkey",
+						},
+						GroupBy: []string{"ps_partkey"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "ps_supplycost", As: "value"}},
+					},
+				}
+			},
+		},
+		{
+			// Q12: shipping modes and order priority. Params: mode, year.
+			Name: "tpcd.q12", Instances: 7 * 7,
+			Gen: func(r *rand.Rand) Query {
+				mode := uniformInt(r, 7)
+				year := uniformInt(r, 7) * 365
+				return Query{
+					ID: fmt.Sprintf("select o_orderpriority, count(*) from orders, lineitem where l_shipmode = %d and l_receiptdate >= %d and l_receiptdate < %d and o_orderkey = l_orderkey group by o_orderpriority", mode, year, year+365),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{Rel: "orders", Cols: []string{"o_orderkey", "o_orderpriority"}},
+							Right: &engine.Scan{
+								Rel: "lineitem",
+								Preds: []engine.Pred{
+									{Col: "l_shipmode", Op: engine.OpEQ, Lo: mode},
+									{Col: "l_receiptdate", Op: engine.OpRange, Lo: year, Hi: year + 364},
+								},
+								Cols: []string{"l_orderkey"},
+							},
+							LeftCol: "o_orderkey", RightCol: "l_orderkey",
+						},
+						GroupBy: []string{"o_orderpriority"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggCount, As: "count"}},
+					},
+				}
+			},
+		},
+		{
+			// Q13: customer distribution. Params: a clerk quartile standing
+			// in for the benchmark's four word-pair combinations — the
+			// smallest instance space in the trace, hence the most frequently
+			// repeating template.
+			Name: "tpcd.q13", Instances: 4,
+			Gen: func(r *rand.Rand) Query {
+				qtr := uniformInt(r, 4)
+				w := clerkCard / 4
+				lo := qtr * w
+				return Query{
+					ID: fmt.Sprintf("select c_nationkey, count(*) from customer, orders where o_clerk between %d and %d and c_custkey = o_custkey group by c_nationkey", lo, lo+w-1),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{Rel: "customer", Cols: []string{"c_custkey", "c_nationkey"}},
+							Right: &engine.Scan{
+								Rel:   "orders",
+								Preds: []engine.Pred{{Col: "o_clerk", Op: engine.OpRange, Lo: lo, Hi: lo + w - 1}},
+								Cols:  []string{"o_custkey"},
+							},
+							LeftCol: "c_custkey", RightCol: "o_custkey",
+						},
+						GroupBy: []string{"c_nationkey"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggCount, As: "custdist"}},
+					},
+				}
+			},
+		},
+		{
+			// Q14: promotion effect. Params: month.
+			Name: "tpcd.q14", Instances: 84,
+			Gen: func(r *rand.Rand) Query {
+				m := uniformInt(r, 84) * 30
+				return Query{
+					ID: fmt.Sprintf("select sum(l_extendedprice) from lineitem, part where l_shipdate >= %d and l_shipdate < %d and l_partkey = p_partkey", m, m+30),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{
+								Rel:   "lineitem",
+								Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: m, Hi: m + 29}},
+								Cols:  []string{"l_partkey", "l_extendedprice"},
+							},
+							Right:   &engine.Scan{Rel: "part", Cols: []string{"p_partkey"}},
+							LeftCol: "l_partkey", RightCol: "p_partkey",
+						},
+						Aggs: []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "promo_revenue"}},
+					},
+				}
+			},
+		},
+		{
+			// Q15: top supplier. Params: quarter.
+			Name: "tpcd.q15", Instances: 28,
+			Gen: func(r *rand.Rand) Query {
+				q := uniformInt(r, 28) * 90
+				return Query{
+					ID: fmt.Sprintf("select s_suppkey, s_name, total from supplier, (select l_suppkey, sum(l_extendedprice) as total from lineitem where l_shipdate >= %d and l_shipdate < %d group by l_suppkey) where s_suppkey = l_suppkey order by total desc limit 1", q, q+90),
+					Plan: &engine.Sort{
+						Input: &engine.Join{
+							Left: &engine.Aggregate{
+								Input: &engine.Scan{
+									Rel:   "lineitem",
+									Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: q, Hi: q + 89}},
+									Cols:  []string{"l_suppkey", "l_extendedprice"},
+								},
+								GroupBy: []string{"l_suppkey"},
+								Aggs:    []engine.AggSpec{{Kind: engine.AggSum, Col: "l_extendedprice", As: "total"}},
+							},
+							Right:   &engine.Scan{Rel: "supplier", Cols: []string{"s_suppkey", "s_name"}},
+							LeftCol: "l_suppkey", RightCol: "s_suppkey",
+						},
+						By: []string{"total"}, Desc: true, Limit: 1,
+					},
+				}
+			},
+		},
+		{
+			// Q16: parts/supplier relationship. Params: brand, type and a
+			// random size interval — the effectively-unbounded instance
+			// space (~5·10⁶), so instances essentially never repeat.
+			Name: "tpcd.q16", Instances: 25 * 150 * 1275,
+			Gen: func(r *rand.Rand) Query {
+				brand := uniformInt(r, 25)
+				ptype := uniformInt(r, 150)
+				lo := uniformInt(r, 50)
+				hi := lo + uniformInt(r, 50-lo)
+				return Query{
+					ID: fmt.Sprintf("select p_brand, p_type, p_size, count(*) from part, partsupp where p_brand = %d and p_type = %d and p_size between %d and %d and p_partkey = ps_partkey group by p_brand, p_type, p_size", brand, ptype, lo, hi),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{
+								Rel: "part",
+								Preds: []engine.Pred{
+									{Col: "p_brand", Op: engine.OpEQ, Lo: brand},
+									{Col: "p_type", Op: engine.OpEQ, Lo: ptype},
+									{Col: "p_size", Op: engine.OpRange, Lo: lo, Hi: hi},
+								},
+								Cols: []string{"p_partkey", "p_brand", "p_type", "p_size"},
+							},
+							Right:   &engine.Scan{Rel: "partsupp", Cols: []string{"ps_partkey"}},
+							LeftCol: "p_partkey", RightCol: "ps_partkey",
+						},
+						GroupBy: []string{"p_brand", "p_type", "p_size"},
+						Aggs:    []engine.AggSpec{{Kind: engine.AggCount, As: "supplier_cnt"}},
+					},
+				}
+			},
+		},
+		{
+			// Q17: small-quantity-order revenue. Params: brand, container, qty.
+			Name: "tpcd.q17", Instances: 25 * 40 * 11,
+			Gen: func(r *rand.Rand) Query {
+				brand := uniformInt(r, 25)
+				cont := uniformInt(r, 40)
+				qty := 2 + uniformInt(r, 11)
+				return Query{
+					ID: fmt.Sprintf("select avg(l_extendedprice) from lineitem, part where p_brand = %d and p_container = %d and l_quantity < %d and p_partkey = l_partkey", brand, cont, qty),
+					Plan: &engine.Aggregate{
+						Input: &engine.Join{
+							Left: &engine.Scan{
+								Rel:   "lineitem",
+								Preds: []engine.Pred{{Col: "l_quantity", Op: engine.OpRange, Lo: 0, Hi: qty - 1}},
+								Cols:  []string{"l_partkey", "l_extendedprice"},
+							},
+							Right: &engine.Scan{
+								Rel: "part",
+								Preds: []engine.Pred{
+									{Col: "p_brand", Op: engine.OpEQ, Lo: brand},
+									{Col: "p_container", Op: engine.OpEQ, Lo: cont},
+								},
+								Cols: []string{"p_partkey"},
+							},
+							LeftCol: "l_partkey", RightCol: "p_partkey",
+						},
+						Aggs: []engine.AggSpec{{Kind: engine.AggAvg, Col: "l_extendedprice", As: "avg_yearly"}},
+					},
+				}
+			},
+		},
+	}
+	return ts
+}

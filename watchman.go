@@ -1,0 +1,113 @@
+// Package watchman is the public API of this reproduction of
+//
+//	Scheuermann, Shim, Vingralek: "WATCHMAN: A Data Warehouse Intelligent
+//	Cache Manager", Proceedings of the 22nd VLDB Conference, 1996.
+//
+// WATCHMAN caches entire retrieved sets of queries. Replacement is governed
+// by LNC-R — victims are chosen in ascending order of the profit metric
+// λᵢ·cᵢ/sᵢ (reference rate × execution cost ÷ size) — and admission by
+// LNC-A, which caches a set only when its profit exceeds the aggregate
+// profit of the sets it would evict. The package also provides the paper's
+// baselines (vanilla LRU, LRU-K, LFU, LCS), the offline LNC* oracle, the
+// benchmark workload generators and the full experiment suite reproducing
+// every figure of the paper's evaluation.
+//
+// Basic usage:
+//
+//	cache, err := watchman.New(watchman.Config{
+//		Capacity: 64 << 20, // bytes
+//		K:        4,
+//		Policy:   watchman.LNCRA,
+//	})
+//	...
+//	hit, payload := cache.Reference(watchman.Request{
+//		QueryID: "select count(*) from bench where k100 = 7",
+//		Time:    12.5,      // logical seconds
+//		Size:    8,         // retrieved-set bytes
+//		Cost:    25000,     // execution cost (block reads)
+//		Payload: rows,      // optional materialized result
+//	})
+//
+// On a hit, payload is the previously stored retrieved set. On a miss the
+// caller executes the query; the cache has already decided admission and
+// stored the payload if admitted.
+package watchman
+
+import (
+	"repro/internal/core"
+)
+
+// Config parameterizes a Cache. See the field documentation in the aliased
+// type for details.
+type Config = core.Config
+
+// Cache is the WATCHMAN cache manager.
+type Cache = core.Cache
+
+// Entry is one cached retrieved set (or its retained reference record).
+type Entry = core.Entry
+
+// Request is one query submission presented to the cache.
+type Request = core.Request
+
+// Stats are the cache's cumulative counters and the paper's metrics.
+type Stats = core.Stats
+
+// PolicyKind selects a replacement/admission policy.
+type PolicyKind = core.PolicyKind
+
+// EvictorKind selects the victim-search structure.
+type EvictorKind = core.EvictorKind
+
+// Replacement and admission policies.
+const (
+	// LRU is the vanilla least-recently-used baseline.
+	LRU = core.LRU
+	// LRUK is LRU-K at retrieved-set granularity.
+	LRUK = core.LRUK
+	// LFU is least-frequently-used.
+	LFU = core.LFU
+	// LCS evicts the largest set first (ADMS baseline).
+	LCS = core.LCS
+	// LNCR is the paper's Least Normalized Cost replacement.
+	LNCR = core.LNCR
+	// LNCRA is LNC-R with the LNC-A admission algorithm.
+	LNCRA = core.LNCRA
+)
+
+// Victim-search structures.
+const (
+	// ScanEvictor is the exact O(n log n) selector.
+	ScanEvictor = core.ScanEvictor
+	// HeapEvictor is the near-exact O(k log n) selector.
+	HeapEvictor = core.HeapEvictor
+)
+
+// Unlimited is a Config.Capacity value denoting an infinite cache.
+const Unlimited = core.Unlimited
+
+// New creates a cache manager.
+func New(cfg Config) (*Cache, error) { return core.New(cfg) }
+
+// CompressID canonicalizes a query string into a query ID by collapsing
+// delimiter runs, as §3 of the paper describes.
+func CompressID(query string) string { return core.CompressID(query) }
+
+// Signature returns the hash signature the cache's lookup index buckets
+// entries by.
+func Signature(id string) uint64 { return core.Signature(id) }
+
+// Item is one retrieved set in the §2.3 offline model.
+type Item = core.Item
+
+// LNCStar runs the offline greedy LNC* algorithm of §2.3: sort by
+// pᵢ·cᵢ/sᵢ descending and fill the cache. Returns the selected index set.
+func LNCStar(items []Item, capacity int64) map[int]bool {
+	return core.LNCStar(items, capacity)
+}
+
+// ExpectedCostSavings returns the steady-state cost savings ratio of a
+// static cache content under the §2.3 model.
+func ExpectedCostSavings(items []Item, cached map[int]bool) float64 {
+	return core.ExpectedCostSavings(items, cached)
+}

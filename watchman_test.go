@@ -1,0 +1,149 @@
+package watchman_test
+
+import (
+	"testing"
+
+	watchman "repro"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would.
+
+func TestPublicCacheAPI(t *testing.T) {
+	cache, err := watchman.New(watchman.Config{
+		Capacity: 10 << 10,
+		K:        4,
+		Policy:   watchman.LNCRA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, _ := cache.Reference(watchman.Request{
+		QueryID: "select sum(x) from t",
+		Time:    1, Size: 64, Cost: 1000,
+		Relations: []string{"t"},
+		Payload:   []int64{42},
+	})
+	if hit {
+		t.Fatal("first reference hit")
+	}
+	hit, payload := cache.Reference(watchman.Request{
+		QueryID: "select  sum(x)  from t", // same query, different spacing
+		Time:    2, Size: 64, Cost: 1000,
+	})
+	if !hit {
+		t.Fatal("normalized resubmission missed")
+	}
+	if rows, ok := payload.([]int64); !ok || rows[0] != 42 {
+		t.Fatalf("payload = %v", payload)
+	}
+	if got := cache.Stats().CostSavingsRatio(); got != 0.5 {
+		t.Fatalf("CSR = %g", got)
+	}
+	if n := cache.Invalidate("t"); n != 1 {
+		t.Fatalf("invalidated %d", n)
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, p := range []watchman.PolicyKind{
+		watchman.LRU, watchman.LRUK, watchman.LFU,
+		watchman.LCS, watchman.LNCR, watchman.LNCRA,
+	} {
+		c, err := watchman.New(watchman.Config{Capacity: 1024, Policy: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		c.Reference(watchman.Request{QueryID: "q", Time: 1, Size: 10, Cost: 5})
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestPublicIDHelpers(t *testing.T) {
+	id := watchman.CompressID("select a,  b from t")
+	if watchman.Signature(id) != watchman.Signature(id) {
+		t.Fatal("signature unstable")
+	}
+}
+
+func TestPublicTraceAndReplay(t *testing.T) {
+	tr, err := watchman.TPCDTrace(0.005, watchman.WorkloadConfig{Queries: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := watchman.ComputeTraceStats(tr)
+	if st.Queries != 1000 {
+		t.Fatalf("stats queries = %d", st.Queries)
+	}
+	res, cache, err := watchman.Replay(tr, watchman.Config{
+		Capacity: watchman.CacheBytesForFraction(tr, 1),
+		K:        4,
+		Policy:   watchman.LNCRA,
+		Evictor:  watchman.HeapEvictor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSR() <= 0 || res.CSR() > st.MaxCostSavings+1e-9 {
+		t.Fatalf("CSR = %g (bound %g)", res.CSR(), st.MaxCostSavings)
+	}
+	if err := cache.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSetQueryAndMulticlass(t *testing.T) {
+	sq, err := watchman.SetQueryTrace(0.02, watchman.WorkloadConfig{Queries: 600, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Len() != 600 {
+		t.Fatal("setquery trace length")
+	}
+	mc, err := watchman.MulticlassTrace(0.005, watchman.WorkloadConfig{Queries: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Len() != 600 {
+		t.Fatal("multiclass trace length")
+	}
+}
+
+func TestPublicLNCStar(t *testing.T) {
+	items := []watchman.Item{
+		{ID: "hot", Prob: 0.9, Cost: 100, Size: 10},
+		{ID: "cold", Prob: 0.1, Cost: 1, Size: 10},
+	}
+	sel := watchman.LNCStar(items, 10)
+	if !sel[0] || sel[1] {
+		t.Fatalf("selection = %v", sel)
+	}
+	if s := watchman.ExpectedCostSavings(items, sel); s <= 0.9 {
+		t.Fatalf("savings = %g", s)
+	}
+}
+
+func TestPublicBufferSim(t *testing.T) {
+	res, err := watchman.RunWarehouseBufferSim(0.05, watchman.BufferSimConfig{
+		Queries: 200, Seed: 6, PoolBytes: 1 << 20, CacheBytes: 1 << 20, P0: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PageReferences == 0 {
+		t.Fatal("buffer sim did nothing")
+	}
+}
+
+func TestPublicExperimentSuite(t *testing.T) {
+	s := watchman.NewExperimentSuite(watchman.ExperimentOptions{Queries: 800, Seed: 7})
+	tb, err := s.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("figure 2 rows = %d", len(tb.Rows))
+	}
+}
