@@ -15,6 +15,7 @@ package watchman_test
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	watchman "repro"
@@ -292,6 +293,42 @@ func BenchmarkCacheReferenceMiss(b *testing.B) {
 				id := fmt.Sprintf("query-%d", i%4096)
 				c.Reference(watchman.Request{QueryID: id, Time: float64(i), Size: 256, Cost: 100})
 			}
+		})
+	}
+}
+
+// BenchmarkShardedReference measures the concurrent layer under parallel
+// load: every GOMAXPROCS worker drives its own mix of hot (mostly-hit) and
+// cold (miss/admission/eviction) references through the sharded LNC-RA
+// cache. Compare with BenchmarkCacheReferenceHit/Miss for the lock-free
+// single-threaded floor.
+func BenchmarkShardedReference(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc, err := watchman.NewSharded(watchman.ShardedConfig{
+				Shards: shards,
+				Cache:  watchman.Config{Capacity: 8 << 20, K: 4, Policy: watchman.LNCRA},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 1_000_003
+				for pb.Next() {
+					i++
+					var id string
+					if i%8 == 0 {
+						id = fmt.Sprintf("cold query %d", i%65536)
+					} else {
+						id = fmt.Sprintf("hot query %d", i%64)
+					}
+					sc.Reference(watchman.Request{QueryID: id, Size: 256, Cost: 100})
+				}
+			})
+			st := sc.Stats()
+			b.ReportMetric(float64(st.Hits)/float64(st.References), "hit-ratio")
+			b.ReportMetric(float64(st.References)/b.Elapsed().Seconds(), "refs/s")
 		})
 	}
 }

@@ -8,6 +8,8 @@
 //	watchman inspect -i tpcd.trace
 //	watchman run -i tpcd.trace -policy lnc-ra -k 4 -cache-pct 1
 //	watchman experiments -figure all
+//	watchman serve -addr :8080 -policy lnc-ra -shards 16 -cache-bytes 67108864
+//	watchman loadgen -i tpcd.trace -concurrency 64
 package main
 
 import (
@@ -39,6 +41,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -60,6 +66,8 @@ commands:
   inspect      print statistics of a trace file
   run          replay a trace against a cache configuration
   experiments  regenerate the paper's tables and figures
+  serve        run the sharded cache as an HTTP daemon
+  loadgen      replay a trace concurrently against a server or in-process cache
 
 run 'watchman <command> -h' for flags.
 `)

@@ -1,0 +1,337 @@
+package main
+
+// The serving side of the CLI: `watchman serve` runs the sharded cache as
+// an HTTP daemon, `watchman loadgen` replays a trace against either a live
+// daemon or an in-process sharded cache at a configurable concurrency and
+// reports throughput and the paper's metrics.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// shardedFlags is the flag subset shared by serve and loadgen that shapes
+// the sharded cache.
+type shardedFlags struct {
+	policy  *string
+	shards  *int
+	k       *int
+	evictor *string
+}
+
+func addShardedFlags(fs *flag.FlagSet) shardedFlags {
+	return shardedFlags{
+		policy:  fs.String("policy", "lnc-ra", "cache policy"),
+		shards:  fs.Int("shards", 16, "number of cache shards (power of two)"),
+		k:       fs.Int("k", 4, "reference-window size K"),
+		evictor: fs.String("evictor", "scan", "victim search: scan or heap"),
+	}
+}
+
+// coreConfig resolves the flags into a per-cache configuration.
+func (f shardedFlags) coreConfig(capacity int64) (core.Config, error) {
+	pk, err := parsePolicy(*f.policy)
+	if err != nil {
+		return core.Config{}, err
+	}
+	ek := core.ScanEvictor
+	if *f.evictor == "heap" {
+		ek = core.HeapEvictor
+	} else if *f.evictor != "scan" {
+		return core.Config{}, fmt.Errorf("unknown evictor %q", *f.evictor)
+	}
+	return core.Config{
+		Capacity: capacity,
+		K:        *f.k,
+		Policy:   pk,
+		Evictor:  ek,
+	}, nil
+}
+
+// build constructs the sharded cache from the parsed flags.
+func (f shardedFlags) build(capacity int64) (*shard.Sharded, error) {
+	cfg, err := f.coreConfig(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return shard.New(shard.Config{
+		Shards: *f.shards,
+		Cache:  cfg,
+	})
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "total cache capacity in bytes")
+	sf := addShardedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := sf.build(*cacheBytes)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(sc).Handler(),
+		// Bound slow clients: without these, a stalled sender pins a
+		// goroutine and file descriptor forever (slowloris).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "watchman: serving %s cache (%d shards, %s) on %s\n",
+		*sf.policy, sc.NumShards(), metrics.Bytes(*cacheBytes), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fmt.Fprintln(os.Stderr, "watchman: shutting down")
+	return srv.Shutdown(shutCtx)
+}
+
+// referencer replays one trace record and reports whether it hit.
+type referencer func(rec *trace.Record) (bool, error)
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required; generate with 'watchman trace')")
+	concurrency := fs.Int("concurrency", 64, "number of concurrent replay workers")
+	addr := fs.String("addr", "", "replay against a live server at this base URL (e.g. http://localhost:8080); empty = in-process cache")
+	cachePct := fs.Float64("cache-pct", 1, "in-process cache size as % of database size")
+	cacheBytes := fs.Int64("cache-bytes", 0, "in-process cache size in bytes (overrides -cache-pct)")
+	compareSerial := fs.Bool("compare-serial", false, "also replay serially through one core cache and report the CSR delta")
+	sf := addShardedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("loadgen: -i is required")
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("loadgen: -concurrency must be at least 1")
+	}
+	if *addr != "" {
+		if *compareSerial {
+			return fmt.Errorf("loadgen: -compare-serial needs the in-process cache; drop -addr")
+		}
+		// The cache-shaping flags configure the in-process cache only; a
+		// live server was shaped at its own startup. Reject rather than
+		// silently attribute the results to a configuration never in use.
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policy", "shards", "k", "evictor", "cache-pct", "cache-bytes":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("loadgen: %s configure the in-process cache and have no effect with -addr (the server was configured at startup)",
+				strings.Join(ignored, ", "))
+		}
+	}
+	tr, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+
+	var ref referencer
+	var sc *shard.Sharded
+	var client *http.Client
+	target := "in-process"
+	capacity := *cacheBytes
+	if *addr != "" {
+		base := strings.TrimRight(*addr, "/")
+		target = base
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			// The default transport keeps only 2 idle conns per host; at
+			// -concurrency 64 that measures connection churn, not the
+			// server. Keep one warm connection per worker.
+			Transport: &http.Transport{
+				MaxIdleConns:        *concurrency,
+				MaxIdleConnsPerHost: *concurrency,
+			},
+		}
+		ref = func(rec *trace.Record) (bool, error) {
+			return postReference(client, base, rec)
+		}
+	} else {
+		if capacity <= 0 {
+			capacity = sim.CacheBytesForFraction(tr, *cachePct)
+		}
+		sc, err = sf.build(capacity)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		ref = func(rec *trace.Record) (bool, error) {
+			hit, _ := sc.Reference(shard.Request{
+				QueryID:   rec.QueryID,
+				Time:      rec.Time,
+				Size:      rec.Size,
+				Cost:      rec.Cost,
+				Relations: rec.Relations,
+			})
+			return hit, nil
+		}
+	}
+
+	hits, elapsed, err := replayConcurrent(tr, *concurrency, ref)
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("loadgen %s → %s, concurrency %d", tr.Name, target, *concurrency),
+		"metric", "value")
+	t.AddRow("records replayed", fmt.Sprint(tr.Len()))
+	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
+	t.AddRow("throughput (refs/s)", fmt.Sprintf("%.0f", float64(tr.Len())/elapsed.Seconds()))
+	t.AddRow("client-observed hits", fmt.Sprint(hits))
+	if sc != nil {
+		st := sc.Stats()
+		t.AddRow("cost savings ratio", metrics.Ratio(st.CostSavingsRatio()))
+		t.AddRow("hit ratio", metrics.Ratio(st.HitRatio()))
+		t.AddRow("admissions", fmt.Sprint(st.Admissions))
+		t.AddRow("evictions", fmt.Sprint(st.Evictions))
+		t.AddRow("resident sets", fmt.Sprint(sc.Resident()))
+		if *compareSerial {
+			// Same configuration as each shard, minus the sharding.
+			cfg, err := sf.coreConfig(capacity)
+			if err != nil {
+				return err
+			}
+			serial, _, err := sim.Replay(tr, cfg)
+			if err != nil {
+				return err
+			}
+			t.AddRow("serial core CSR", metrics.Ratio(serial.CSR()))
+			t.AddRow("CSR delta", fmt.Sprintf("%+.4f", st.CostSavingsRatio()-serial.CSR()))
+		}
+	} else if csr, hr, err := fetchServerRatios(client, target); err == nil {
+		t.AddRow("server cost savings ratio", metrics.Ratio(csr))
+		t.AddRow("server hit ratio", metrics.Ratio(hr))
+	} else {
+		fmt.Fprintf(os.Stderr, "watchman: could not fetch server stats: %v\n", err)
+	}
+	return t.Render(os.Stdout)
+}
+
+// replayConcurrent streams the trace through ref from n workers pulling
+// records off one shared cursor, preserving approximate global order.
+func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elapsed time.Duration, err error) {
+	var next, hitCount atomic.Int64
+	// Pointer CAS keeps the stored type uniform: atomic.Value would panic
+	// if two workers raced to store errors of different concrete types.
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(tr.Len()) || firstErr.Load() != nil {
+					return
+				}
+				hit, err := ref(&tr.Records[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if hit {
+					hitCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, *e
+	}
+	return hitCount.Load(), time.Since(start), nil
+}
+
+// postReference sends one trace record to a live server's /v1/reference.
+// The record's logical timestamp is deliberately NOT sent: the server may
+// have been up for a while (or served other traffic), so its clock is
+// ahead of the trace's zero-based seconds, and mixing the two would pin
+// every replayed reference to one instant and corrupt the λ estimates.
+// Omitting the time lets the server stamp arrival on its own clock.
+func postReference(client *http.Client, base string, rec *trace.Record) (bool, error) {
+	body, err := json.Marshal(server.ReferenceRequest{
+		QueryID:   rec.QueryID,
+		Size:      rec.Size,
+		Cost:      rec.Cost,
+		Relations: rec.Relations,
+	})
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(base+"/v1/reference", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("server returned %s: %s", resp.Status, msg)
+	}
+	var out server.ReferenceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, err
+	}
+	return out.Hit, nil
+}
+
+// fetchServerRatios reads the live server's aggregated metrics, reusing
+// the replay client so the call shares its timeout.
+func fetchServerRatios(client *http.Client, base string) (csr, hr float64, err error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, 0, fmt.Errorf("server returned %s: %s", resp.Status, msg)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, err
+	}
+	return st.CostSavingsRatio, st.HitRatio, nil
+}

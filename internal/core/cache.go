@@ -62,18 +62,18 @@ const defaultPruneEvery = 64
 // Stats are the cache's cumulative counters. The ratios defined on it are
 // the paper's three performance metrics (§4.1).
 type Stats struct {
-	References      int64   // total Reference calls
-	Hits            int64   // references satisfied from cache
-	CostTotal       float64 // Σ cᵢ over all references
-	CostSaved       float64 // Σ cᵢ over hits
-	BytesServed     int64   // Σ sᵢ over hits
-	Admissions      int64   // retrieved sets cached
-	Rejections      int64   // admissions denied by LNC-A
-	Evictions       int64   // retrieved sets evicted for space
-	Invalidations   int64   // entries dropped by coherence events
-	RetainedDropped int64   // retained records pruned
-	FragSamples     int64   // fragmentation samples taken
-	FragSum         float64 // Σ unused-fraction samples
+	References      int64   `json:"references"`       // total Reference calls
+	Hits            int64   `json:"hits"`             // references satisfied from cache
+	CostTotal       float64 `json:"cost_total"`       // Σ cᵢ over all references
+	CostSaved       float64 `json:"cost_saved"`       // Σ cᵢ over hits
+	BytesServed     int64   `json:"bytes_served"`     // Σ sᵢ over hits
+	Admissions      int64   `json:"admissions"`       // retrieved sets cached
+	Rejections      int64   `json:"rejections"`       // admissions denied by LNC-A
+	Evictions       int64   `json:"evictions"`        // retrieved sets evicted for space
+	Invalidations   int64   `json:"invalidations"`    // entries dropped by coherence events
+	RetainedDropped int64   `json:"retained_dropped"` // retained records pruned
+	FragSamples     int64   `json:"frag_samples"`     // fragmentation samples taken
+	FragSum         float64 `json:"frag_sum"`         // Σ unused-fraction samples
 }
 
 // HitRatio returns hits divided by references (paper metric HR).
@@ -91,6 +91,24 @@ func (s Stats) CostSavingsRatio() float64 {
 		return 0
 	}
 	return s.CostSaved / s.CostTotal
+}
+
+// Add accumulates another Stats into s, field by field. Aggregators (the
+// sharded front, multi-cache reports) use it so that counters added to
+// this struct later cannot be silently dropped from their sums.
+func (s *Stats) Add(o Stats) {
+	s.References += o.References
+	s.Hits += o.Hits
+	s.CostTotal += o.CostTotal
+	s.CostSaved += o.CostSaved
+	s.BytesServed += o.BytesServed
+	s.Admissions += o.Admissions
+	s.Rejections += o.Rejections
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.RetainedDropped += o.RetainedDropped
+	s.FragSamples += o.FragSamples
+	s.FragSum += o.FragSum
 }
 
 // AvgFragmentation returns the average fraction of unused cache space
@@ -229,12 +247,29 @@ func (c *Cache) indexRemove(e *Entry) {
 // Peek reports whether the query's retrieved set is resident, without
 // touching reference statistics.
 func (c *Cache) Peek(queryID string) (payload any, ok bool) {
-	id := CompressID(queryID)
-	e := c.lookup(id, Signature(id))
-	if e == nil || !e.resident {
+	e, ok := c.Lookup(queryID)
+	if !ok {
 		return nil, false
 	}
 	return e.Payload, true
+}
+
+// Lookup returns the resident entry for the query, if any, without
+// recording a reference. Concurrent wrappers use it to learn the stored
+// Size and Cost of a set before charging a hit against it.
+func (c *Cache) Lookup(queryID string) (*Entry, bool) {
+	id := CompressID(queryID)
+	return c.LookupCanonical(id, Signature(id))
+}
+
+// LookupCanonical is Lookup for callers that already hold the compressed
+// query ID and its signature.
+func (c *Cache) LookupCanonical(id string, sig uint64) (*Entry, bool) {
+	e := c.lookup(id, sig)
+	if e == nil || !e.resident {
+		return nil, false
+	}
+	return e, true
 }
 
 // Reference processes one query submission: on a hit it returns the cached
@@ -243,12 +278,38 @@ func (c *Cache) Peek(queryID string) (payload any, ok bool) {
 // execute) the query on a miss; Request.Cost is charged either way for the
 // cost-savings accounting.
 func (c *Cache) Reference(req Request) (hit bool, payload any) {
-	if req.Time > c.now {
-		c.now = req.Time
+	id := CompressID(req.QueryID)
+	return c.reference(req, id, Signature(id))
+}
+
+// ReferenceCanonical is Reference for callers that already hold the
+// compressed query ID and its signature — the sharded front computes both
+// to route the request, and recomputing them on the serialized hot path
+// would double the per-request work under the shard lock. req.QueryID must
+// be a CompressID result and sig its Signature.
+func (c *Cache) ReferenceCanonical(req Request, sig uint64) (hit bool, payload any) {
+	return c.reference(req, req.QueryID, sig)
+}
+
+// ReferenceEntry charges a hit against a resident entry previously
+// returned by Lookup/LookupCanonical, using the entry's stored size and
+// cost. It is the single-lookup hit path for concurrent front-ends: the
+// caller has already located the entry, so no second index probe runs.
+func (c *Cache) ReferenceEntry(e *Entry, t float64) (payload any) {
+	now := c.tick(t, e.Cost)
+	c.chargeHit(e, e.Cost, now)
+	return e.Payload
+}
+
+// tick advances the logical clock and the per-reference counters shared by
+// the hit and miss paths, returning the effective (clamped) time.
+func (c *Cache) tick(t, cost float64) float64 {
+	if t > c.now {
+		c.now = t
 	}
 	now := c.now
 	c.stats.References++
-	c.stats.CostTotal += req.Cost
+	c.stats.CostTotal += cost
 	// Track the mean inter-arrival gap of references; it floors the λ
 	// denominators (see refWindow.rate).
 	if !c.haveFirst {
@@ -256,18 +317,26 @@ func (c *Cache) Reference(req Request) (hit bool, payload any) {
 	} else if n := c.stats.References - 1; n > 0 && now > c.firstTime {
 		c.rc.minDt = (now - c.firstTime) / float64(n)
 	}
+	return now
+}
 
-	id := CompressID(req.QueryID)
-	sig := Signature(id)
+// chargeHit records a hit on a resident entry.
+func (c *Cache) chargeHit(e *Entry, cost, now float64) {
+	e.window.record(now)
+	c.ev.touch(e, now)
+	c.stats.Hits++
+	c.stats.CostSaved += cost
+	c.stats.BytesServed += e.Size
+	c.sampleFragmentation()
+}
+
+func (c *Cache) reference(req Request, id string, sig uint64) (hit bool, payload any) {
+	now := c.tick(req.Time, req.Cost)
+
 	e := c.lookup(id, sig)
 
 	if e != nil && e.resident {
-		e.window.record(now)
-		c.ev.touch(e, now)
-		c.stats.Hits++
-		c.stats.CostSaved += req.Cost
-		c.stats.BytesServed += e.Size
-		c.sampleFragmentation()
+		c.chargeHit(e, req.Cost, now)
 		return true, e.Payload
 	}
 

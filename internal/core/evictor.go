@@ -122,11 +122,11 @@ func (h itemHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x any)        { *h = append(*h, x.(*heapItem)) }
-func (h *itemHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h itemHeap) Peek() *heapItem    { return h[0] }
-func (h itemHeap) Empty() bool        { return len(h) == 0 }
+func (h itemHeap) Swap(i, j int)          { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)            { *h = append(*h, x.(*heapItem)) }
+func (h *itemHeap) Pop() any              { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h itemHeap) Peek() *heapItem        { return h[0] }
+func (h itemHeap) Empty() bool            { return len(h) == 0 }
 func (h itemHeap) stale(i *heapItem) bool { return i.e == nil }
 
 type heapEvictor struct {

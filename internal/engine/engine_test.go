@@ -430,8 +430,8 @@ func TestSchemaErrors(t *testing.T) {
 func TestBaseRelations(t *testing.T) {
 	plan := &Aggregate{
 		Input: &Join{
-			Left:  &Scan{Rel: "u"},
-			Right: &Sort{Input: &Project{Input: &Scan{Rel: "t"}, Cols: []string{"id"}}, By: []string{"id"}},
+			Left:    &Scan{Rel: "u"},
+			Right:   &Sort{Input: &Project{Input: &Scan{Rel: "t"}, Cols: []string{"id"}}, By: []string{"id"}},
 			LeftCol: "tref", RightCol: "id",
 		},
 		Aggs: []AggSpec{{Kind: AggCount, As: "n"}},

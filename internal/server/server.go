@@ -1,0 +1,206 @@
+// Package server exposes a sharded WATCHMAN cache as an HTTP daemon, in
+// the spirit of web-enabled cache daemons for complex query results: the
+// cache manager runs as a long-lived process and query frontends talk to
+// it over a small JSON protocol.
+//
+// Endpoints:
+//
+//	POST /v1/reference   lookup + admission for one query submission
+//	GET  /v1/peek/{id}   non-mutating residency probe for a query ID
+//	POST /v1/invalidate  coherence hook: drop entries by base relation
+//	GET  /stats          aggregated counters and the paper's metrics
+//	GET  /healthz        liveness probe
+//
+// All bodies are JSON. Request times are logical seconds; a zero or
+// omitted time means "now" per the cache's time source, so live traffic
+// needs no clock of its own while trace replays can supply exact stamps.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/shard"
+)
+
+// maxBodyBytes bounds request bodies; retrieved-set payloads travel in the
+// reference body, so the bound is generous.
+const maxBodyBytes = 64 << 20
+
+// ReferenceRequest is the body of POST /v1/reference. It mirrors
+// core.Request: the client reports the query it is about to run (or has
+// run) with the retrieved set's size and execution cost.
+type ReferenceRequest struct {
+	QueryID string `json:"query_id"`
+	// Time is the submission time in logical seconds. Zero or omitted
+	// means "now" per the cache's time source — live clients should leave
+	// it unset rather than supplying clocks of their own.
+	Time      float64  `json:"time,omitempty"`
+	Size      int64    `json:"size"`
+	Cost      float64  `json:"cost"`
+	Relations []string `json:"relations,omitempty"`
+	Payload   any      `json:"payload,omitempty"`
+}
+
+// ReferenceResponse is the body of a successful POST /v1/reference.
+type ReferenceResponse struct {
+	Hit     bool `json:"hit"`
+	Payload any  `json:"payload,omitempty"`
+}
+
+// PeekResponse is the body of a successful GET /v1/peek/{id}.
+type PeekResponse struct {
+	Resident bool `json:"resident"`
+	Payload  any  `json:"payload,omitempty"`
+}
+
+// InvalidateRequest is the body of POST /v1/invalidate.
+type InvalidateRequest struct {
+	Relations []string `json:"relations"`
+}
+
+// InvalidateResponse reports how many resident sets an invalidation hit.
+type InvalidateResponse struct {
+	Dropped int `json:"dropped"`
+}
+
+// StatsResponse is the body of GET /stats: the raw aggregated counters
+// plus the paper's derived metrics and the cache's occupancy.
+type StatsResponse struct {
+	shard.Stats
+	CostSavingsRatio float64 `json:"cost_savings_ratio"`
+	HitRatio         float64 `json:"hit_ratio"`
+	AvgUtilization   float64 `json:"avg_utilization"`
+	Resident         int     `json:"resident"`
+	UsedBytes        int64   `json:"used_bytes"`
+	CapacityBytes    int64   `json:"capacity_bytes"`
+	Shards           int     `json:"shards"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server serves a sharded cache over HTTP.
+type Server struct {
+	cache *shard.Sharded
+	mux   *http.ServeMux
+}
+
+// New builds a server around the cache and registers all routes.
+func New(cache *shard.Sharded) *Server {
+	s := &Server{cache: cache, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/reference", s.handleReference)
+	s.mux.HandleFunc("GET /v1/peek/{id}", s.handlePeek)
+	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's routing handler, ready for http.Serve or
+// an httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes *Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses a JSON body with a size cap and strict field checking.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
+	var req ReferenceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.QueryID == "":
+		writeError(w, http.StatusBadRequest, "query_id is required")
+		return
+	case req.Size <= 0:
+		writeError(w, http.StatusBadRequest, "size must be positive, got %d", req.Size)
+		return
+	case req.Cost < 0:
+		writeError(w, http.StatusBadRequest, "cost must be non-negative, got %g", req.Cost)
+		return
+	case req.Time < 0:
+		writeError(w, http.StatusBadRequest, "time must be non-negative, got %g", req.Time)
+		return
+	}
+	hit, payload := s.cache.Reference(shard.Request{
+		QueryID:   req.QueryID,
+		Time:      req.Time,
+		Size:      req.Size,
+		Cost:      req.Cost,
+		Relations: req.Relations,
+		Payload:   req.Payload,
+	})
+	writeJSON(w, http.StatusOK, ReferenceResponse{Hit: hit, Payload: payload})
+}
+
+func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "empty query id")
+		return
+	}
+	payload, ok := s.cache.Peek(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, PeekResponse{Resident: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, PeekResponse{Resident: true, Payload: payload})
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	var req InvalidateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Relations) == 0 {
+		writeError(w, http.StatusBadRequest, "relations is required")
+		return
+	}
+	dropped := s.cache.Invalidate(req.Relations...)
+	writeJSON(w, http.StatusOK, InvalidateResponse{Dropped: dropped})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:            st,
+		CostSavingsRatio: st.CostSavingsRatio(),
+		HitRatio:         st.HitRatio(),
+		AvgUtilization:   st.AvgUtilization(),
+		Resident:         s.cache.Resident(),
+		UsedBytes:        s.cache.UsedBytes(),
+		CapacityBytes:    s.cache.Capacity(),
+		Shards:           s.cache.NumShards(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,432 @@
+// Package shard provides a concurrent, sharded front for the WATCHMAN
+// cache. The single-threaded core.Cache is deliberately lock-free and
+// deterministic; this package partitions total capacity across a
+// power-of-two number of shards, each owning a mutex-guarded core.Cache,
+// and routes every request by the same signature hash the core's lookup
+// index uses (core.Signature of the compressed query ID). Because a query
+// ID always hashes to the same shard, each shard observes a coherent
+// sub-trace and the LNC-R/LNC-A profit accounting stays exact per shard.
+//
+// On top of the partitioning the package adds the two features a serving
+// deployment needs that a trace replayer does not:
+//
+//   - singleflight miss coalescing: when a Loader is configured, N
+//     concurrent Load calls for the same (not yet cached) query ID execute
+//     the query once; the followers block on the leader's flight and then
+//     charge an ordinary reference against the freshly admitted set.
+//   - a wall-clock time source: core works in logical seconds from the
+//     trace; WallClock adapts real time to that scale so live traffic and
+//     replayed traces share one λ (reference-rate) estimator.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Request is one query submission; it aliases core.Request so callers of
+// the concurrent layer need not import core.
+type Request = core.Request
+
+// Loader executes a query on behalf of the cache when a Load call misses.
+// It returns the materialized retrieved set, its size in bytes and the
+// execution cost in logical block reads — exactly the quantities a trace
+// record carries. The loader runs outside all shard locks.
+type Loader func(req core.Request) (payload any, size int64, cost float64, err error)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config parameterizes a Sharded cache.
+type Config struct {
+	// Shards is the number of partitions; it must be a power of two.
+	// Zero selects DefaultShards.
+	Shards int
+	// Cache configures every shard's core.Cache. Capacity is the TOTAL
+	// across all shards and is split evenly; the remainder bytes go to the
+	// low-numbered shards. The per-shard callbacks (OnAdmit, OnEvict,
+	// OnReject) are invoked with the owning shard's mutex held and must
+	// not call back into the Sharded cache.
+	Cache core.Config
+	// Loader, if non-nil, enables the Load path with singleflight miss
+	// coalescing.
+	Loader Loader
+	// Now supplies the logical-seconds timestamp for requests whose Time
+	// is zero. Nil selects WallClock(), anchored at construction.
+	Now func() float64
+}
+
+// WallClock returns a time source that maps wall time to core's logical
+// seconds: seconds elapsed since the call that created it.
+func WallClock() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// Stats aggregates the core counters across shards and adds the
+// concurrency layer's own counters.
+type Stats struct {
+	core.Stats
+	// LoaderCalls is the number of times the Loader actually executed.
+	LoaderCalls int64 `json:"loader_calls"`
+	// Coalesced is the number of Load calls that were served by waiting on
+	// another caller's in-flight execution of the same query.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// flight is one in-progress loader execution that followers wait on.
+type flight struct {
+	wg      sync.WaitGroup
+	payload any
+	size    int64
+	cost    float64
+	err     error
+	// stale is set when the query's base relations were invalidated while
+	// the loader ran: the result may predate the update, so neither the
+	// leader nor any follower admits it.
+	stale bool
+	// epoch is the shard's invalidation epoch at the moment the leader
+	// admitted the result; followers re-check their relations against it
+	// under the lock so an invalidation landing after the admission cannot
+	// be undone by a follower re-admitting the payload.
+	epoch uint64
+}
+
+// shard is one partition: a mutex-guarded core cache plus the in-flight
+// load table for singleflight coalescing.
+type shard struct {
+	mu       sync.Mutex
+	cache    *core.Cache
+	inflight map[string]*flight
+	// epoch counts invalidations and invalEpoch records the epoch at which
+	// each base relation was last invalidated; flights compare them across
+	// their loader execution to detect a coherence event that actually
+	// touches their query's relations.
+	epoch      uint64
+	invalEpoch map[string]uint64
+}
+
+// staleSince reports whether any of the given relations was invalidated
+// after the epoch snapshot. Must be called with mu held. A query that
+// declares no relations has opted out of coherence and is never stale.
+func (sh *shard) staleSince(relations []string, epoch uint64) bool {
+	for _, r := range relations {
+		if sh.invalEpoch[r] > epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// Sharded is a concurrent cache partitioned over multiple core.Cache
+// instances. All methods are safe for concurrent use.
+type Sharded struct {
+	shards []*shard
+	mask   uint64
+	loader Loader
+	now    func() float64
+
+	loaderCalls atomic.Int64
+	coalesced   atomic.Int64
+}
+
+// New creates a sharded cache. The configuration must name a power-of-two
+// shard count and enough capacity for every shard to hold at least one
+// byte of payload.
+func New(cfg Config) (*Sharded, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = DefaultShards
+	}
+	if n < 1 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("shard: shard count %d is not a power of two", n)
+	}
+	per, rem := cfg.Cache.Capacity/int64(n), cfg.Cache.Capacity%int64(n)
+	if cfg.Cache.Capacity == core.Unlimited {
+		per, rem = core.Unlimited, 0
+	}
+	if per <= 0 {
+		return nil, fmt.Errorf("shard: capacity %d spread over %d shards leaves nothing per shard",
+			cfg.Cache.Capacity, n)
+	}
+	s := &Sharded{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		loader: cfg.Loader,
+		now:    cfg.Now,
+	}
+	if s.now == nil {
+		s.now = WallClock()
+	}
+	for i := range s.shards {
+		scfg := cfg.Cache
+		scfg.Capacity = per
+		if int64(i) < rem {
+			scfg.Capacity++
+		}
+		c, err := core.New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{
+			cache:      c,
+			inflight:   make(map[string]*flight),
+			invalEpoch: make(map[string]uint64),
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the number of partitions.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// shardFor routes a signature to its shard.
+func (s *Sharded) shardFor(sig uint64) *shard { return s.shards[sig&s.mask] }
+
+// timestamp resolves a request time: zero means "now" per the time source.
+func (s *Sharded) timestamp(t float64) float64 {
+	if t == 0 {
+		return s.now()
+	}
+	return t
+}
+
+// Reference processes one query submission exactly as core.Cache.Reference
+// does — hit returns the cached payload, miss runs admission/replacement —
+// under the owning shard's lock. A zero Request.Time is replaced by the
+// configured time source.
+func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
+	id := core.CompressID(req.QueryID)
+	req.QueryID = id
+	req.Time = s.timestamp(req.Time)
+	sig := core.Signature(id)
+	sh := s.shardFor(sig)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cache.ReferenceCanonical(req, sig)
+}
+
+// Load looks the query up and, on a miss, executes it through the
+// configured Loader with singleflight coalescing: concurrent Load calls
+// for the same query ID run the loader once and share its result. The
+// request's Size and Cost are ignored (the loader supplies them); a zero
+// Time is replaced by the time source.
+func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
+	if s.loader == nil {
+		return nil, false, fmt.Errorf("shard: no Loader configured")
+	}
+	id := core.CompressID(req.QueryID)
+	req.QueryID = id
+	req.Time = s.timestamp(req.Time)
+	sig := core.Signature(id)
+	sh := s.shardFor(sig)
+
+	sh.mu.Lock()
+	if e, ok := sh.cache.LookupCanonical(id, sig); ok {
+		// Resident: charge a hit against the entry we just found — no
+		// second index probe inside the critical section.
+		p := sh.cache.ReferenceEntry(e, req.Time)
+		sh.mu.Unlock()
+		return p, true, nil
+	}
+	if f, ok := sh.inflight[id]; ok {
+		// Another caller is executing this query right now: wait for its
+		// result, then charge an ordinary reference (normally a hit, since
+		// the leader just admitted the set).
+		s.coalesced.Add(1)
+		sh.mu.Unlock()
+		f.wg.Wait()
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		if f.stale {
+			return f.payload, false, nil
+		}
+		sh.mu.Lock()
+		if sh.staleSince(req.Relations, f.epoch) {
+			// An invalidation of this query's relations landed after the
+			// leader's admission: the payload must not be re-admitted (and
+			// admitting it without a payload would turn later Load hits
+			// into nil results), so serve the caller without touching the
+			// cache.
+			sh.mu.Unlock()
+			return f.payload, false, nil
+		}
+		refHit, p := sh.cache.ReferenceCanonical(core.Request{
+			QueryID: id, Time: req.Time, Size: f.size, Cost: f.cost,
+			Relations: req.Relations, Payload: f.payload,
+		}, sig)
+		sh.mu.Unlock()
+		if refHit {
+			return p, true, nil
+		}
+		return f.payload, false, nil
+	}
+
+	// Leader: publish the flight, run the query unlocked, then feed the
+	// result through the admission path.
+	f := &flight{}
+	f.wg.Add(1)
+	sh.inflight[id] = f
+	epoch := sh.epoch
+	sh.mu.Unlock()
+
+	s.runLoader(f, req)
+
+	sh.mu.Lock()
+	delete(sh.inflight, id)
+	// An invalidation of this query's relations during the loader run
+	// means the result may predate the base-relation update: hand it to
+	// the callers but do not cache it.
+	f.stale = sh.staleSince(req.Relations, epoch)
+	f.epoch = sh.epoch
+	if f.err == nil && !f.stale {
+		sh.cache.ReferenceCanonical(core.Request{
+			QueryID: id, Time: req.Time, Size: f.size, Cost: f.cost,
+			Relations: req.Relations, Payload: f.payload,
+		}, sig)
+	}
+	sh.mu.Unlock()
+	f.wg.Done()
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	return f.payload, false, nil
+}
+
+// runLoader executes the loader outside all locks, converting a panic into
+// an error so a misbehaving loader cannot strand the flight's followers —
+// the inflight entry must always be removed and the WaitGroup completed.
+func (s *Sharded) runLoader(f *flight, req core.Request) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("shard: loader panicked: %v", r)
+		}
+		s.loaderCalls.Add(1)
+	}()
+	f.payload, f.size, f.cost, f.err = s.loader(req)
+}
+
+// Peek reports whether the query's retrieved set is resident, without
+// recording a reference.
+func (s *Sharded) Peek(queryID string) (payload any, ok bool) {
+	id := core.CompressID(queryID)
+	sh := s.shardFor(core.Signature(id))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cache.Peek(id)
+}
+
+// Invalidate drops every entry touching any of the given base relations
+// from every shard and returns the number of resident sets dropped.
+func (s *Sharded) Invalidate(relations ...string) int {
+	dropped := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		// Fence in-flight loads that read these relations: their results
+		// may now be stale.
+		sh.epoch++
+		for _, r := range relations {
+			sh.invalEpoch[r] = sh.epoch
+		}
+		dropped += sh.cache.Invalidate(relations...)
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// Stats returns the counters aggregated across all shards plus the
+// concurrency layer's loader/coalescing counters.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.cache.Stats()
+		sh.mu.Unlock()
+		out.Stats.Add(st)
+	}
+	out.LoaderCalls = s.loaderCalls.Load()
+	out.Coalesced = s.coalesced.Load()
+	return out
+}
+
+// ShardStats returns each shard's own counters, for balance diagnostics.
+func (s *Sharded) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.cache.Stats()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Resident returns the total number of cached retrieved sets.
+func (s *Sharded) Resident() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.cache.Resident()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// UsedBytes returns the payload plus metadata bytes charged across shards.
+func (s *Sharded) UsedBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.cache.UsedBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total configured capacity across shards.
+func (s *Sharded) Capacity() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		if sh.cache.Config().Capacity == core.Unlimited {
+			return core.Unlimited
+		}
+		n += sh.cache.Config().Capacity
+	}
+	return n
+}
+
+// Clock returns the largest logical time any shard has seen.
+func (s *Sharded) Clock() float64 {
+	var max float64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if t := sh.cache.Clock(); t > max {
+			max = t
+		}
+		sh.mu.Unlock()
+	}
+	return max
+}
+
+// CheckInvariants verifies every shard's internal consistency and that no
+// flight outlived its execution. Tests drive it after concurrent hammering.
+func (s *Sharded) CheckInvariants() error {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.cache.CheckInvariants()
+		n := len(sh.inflight)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if n != 0 {
+			return fmt.Errorf("shard %d: %d flights leaked", i, n)
+		}
+	}
+	return nil
+}

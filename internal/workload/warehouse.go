@@ -104,7 +104,7 @@ func WarehouseTemplates(db *relation.Database) []*Template {
 					Plan: &engine.Aggregate{
 						Input: &engine.Join{
 							Left: &engine.Scan{
-								Rel: relName,
+								Rel:   relName,
 								Preds: []engine.Pred{{Col: "cat", Op: engine.OpEQ, Lo: cat}},
 								Cols:  []string{"ref"},
 							},

@@ -139,7 +139,7 @@ func TestGenerateDeterminism(t *testing.T) {
 		t.Fatal("lengths differ")
 	}
 	for i := range a.Records {
-		if a.Records[i] .QueryID != b.Records[i].QueryID || a.Records[i].Time != b.Records[i].Time {
+		if a.Records[i].QueryID != b.Records[i].QueryID || a.Records[i].Time != b.Records[i].Time {
 			t.Fatalf("record %d differs between identically seeded runs", i)
 		}
 	}

@@ -31,10 +31,35 @@
 // On a hit, payload is the previously stored retrieved set. On a miss the
 // caller executes the query; the cache has already decided admission and
 // stored the payload if admitted.
+//
+// # Concurrent usage
+//
+// Cache is single-threaded by design (simulations stay deterministic).
+// For concurrent traffic use NewSharded, which partitions capacity across
+// mutex-guarded shards, routes by the query-ID signature, stamps requests
+// from a wall-clock time source, and coalesces concurrent misses on the
+// same query into one Loader execution:
+//
+//	cache, err := watchman.NewSharded(watchman.ShardedConfig{
+//		Shards: 16,
+//		Cache:  watchman.Config{Capacity: 1 << 30, K: 4, Policy: watchman.LNCRA},
+//		Loader: func(req watchman.Request) (payload any, size int64, cost float64, err error) {
+//			rows, stats := executeQuery(req.QueryID) // runs once per in-flight query
+//			return rows, stats.Bytes, stats.BlockReads, nil
+//		},
+//	})
+//	...
+//	payload, hit, err := cache.Load(watchman.Request{QueryID: query})
+//
+// Callers that already know a query's size and cost (e.g. trace replays)
+// can use Sharded.Reference instead, which mirrors Cache.Reference. The
+// `watchman serve` command exposes a Sharded cache over HTTP, and
+// `watchman loadgen` replays traces against it concurrently.
 package watchman
 
 import (
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Config parameterizes a Cache. See the field documentation in the aliased
@@ -96,6 +121,34 @@ func CompressID(query string) string { return core.CompressID(query) }
 // Signature returns the hash signature the cache's lookup index buckets
 // entries by.
 func Signature(id string) uint64 { return core.Signature(id) }
+
+// ShardedConfig parameterizes a Sharded cache: the shard count, the total
+// capacity and per-shard cache configuration, an optional Loader for
+// singleflight miss coalescing, and an optional time source.
+type ShardedConfig = shard.Config
+
+// Sharded is the concurrent cache: capacity partitioned over a power-of-two
+// number of mutex-guarded shards, routed by Signature of the compressed
+// query ID. All methods are safe for concurrent use.
+type Sharded = shard.Sharded
+
+// ShardedStats aggregates the core counters across shards and adds the
+// loader/coalescing counters of the concurrency layer.
+type ShardedStats = shard.Stats
+
+// Loader executes a query on a coalesced miss; see ShardedConfig.
+type Loader = shard.Loader
+
+// DefaultShards is the shard count used when ShardedConfig.Shards is zero.
+const DefaultShards = shard.DefaultShards
+
+// NewSharded creates a concurrent sharded cache manager.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) { return shard.New(cfg) }
+
+// WallClock returns a time source mapping wall time to the cache's logical
+// seconds, anchored at the moment of the call. NewSharded installs one by
+// default; it is exported so tests and multi-cache setups can share one.
+func WallClock() func() float64 { return shard.WallClock() }
 
 // Item is one retrieved set in the §2.3 offline model.
 type Item = core.Item

@@ -147,3 +147,45 @@ func TestPublicExperimentSuite(t *testing.T) {
 		t.Fatalf("figure 2 rows = %d", len(tb.Rows))
 	}
 }
+
+func TestPublicShardedAPI(t *testing.T) {
+	var loads int
+	cache, err := watchman.NewSharded(watchman.ShardedConfig{
+		Shards: 4,
+		Cache:  watchman.Config{Capacity: 1 << 20, K: 4, Policy: watchman.LNCRA},
+		Loader: func(req watchman.Request) (any, int64, float64, error) {
+			loads++
+			return "rows", 128, 900, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.NumShards() != 4 {
+		t.Fatalf("shards = %d", cache.NumShards())
+	}
+	payload, hit, err := cache.Load(watchman.Request{QueryID: "select sum(x) from t"})
+	if err != nil || hit || payload != "rows" {
+		t.Fatalf("first Load: payload=%v hit=%v err=%v", payload, hit, err)
+	}
+	payload, hit, err = cache.Load(watchman.Request{QueryID: "select  sum(x)  from t"})
+	if err != nil || !hit || payload != "rows" {
+		t.Fatalf("second Load: payload=%v hit=%v err=%v", payload, hit, err)
+	}
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+	st := cache.Stats()
+	if st.References != 2 || st.Hits != 1 || st.LoaderCalls != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if hit, _ := cache.Reference(watchman.Request{QueryID: "other", Size: 64, Cost: 10}); hit {
+		t.Fatal("fresh Reference cannot hit")
+	}
+	if clock := watchman.WallClock(); clock() < 0 {
+		t.Fatal("wall clock negative")
+	}
+	if watchman.DefaultShards != 16 {
+		t.Fatalf("DefaultShards = %d", watchman.DefaultShards)
+	}
+}
