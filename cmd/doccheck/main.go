@@ -1,0 +1,207 @@
+// Command doccheck is the repository's documentation linter, run by the CI
+// docs job. It enforces two invariants without external dependencies:
+//
+//  1. every exported identifier (functions, methods, types, consts, vars)
+//     in every non-test Go file carries a doc comment, and every package
+//     has a package-level doc comment — the revive/golint "exported" rule;
+//  2. every relative markdown link in README.md and docs/*.md resolves to
+//     a file that exists.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [dir]
+//
+// dir defaults to the current directory (the module root). doccheck prints
+// one line per violation and exits non-zero if it found any.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkGoDocs(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkGoDocs walks every non-test Go file under root and reports exported
+// identifiers without doc comments and packages without a package comment.
+func checkGoDocs(root string) []string {
+	var problems []string
+	// pkgDoc maps a directory to whether any of its files carries a
+	// package doc comment; pkgSeen records the position to report.
+	pkgDoc := map[string]bool{}
+	pkgFirst := map[string]string{}
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse error: %v", path, err))
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgDoc[dir] = true
+		} else if _, ok := pkgDoc[dir]; !ok {
+			pkgDoc[dir] = false
+		}
+		if _, ok := pkgFirst[dir]; !ok {
+			pkgFirst[dir] = path
+		}
+		problems = append(problems, checkFileDecls(fset, path, f)...)
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walk: %v", err))
+	}
+	for dir, ok := range pkgDoc {
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: package has no package-level doc comment in any file", pkgFirst[dir]))
+		}
+	}
+	return problems
+}
+
+// checkFileDecls reports exported top-level declarations in one file that
+// lack doc comments.
+func checkFileDecls(fset *token.FileSet, path string, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", path, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods count only when their receiver type is exported.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped declaration or on the
+					// spec (or a trailing line comment) covers its names.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// mdLink matches inline markdown links; the path group stops before any
+// anchor or title.
+var mdLink = regexp.MustCompile(`\]\(([^)\s#]+)[^)]*\)`)
+
+// checkMarkdownLinks verifies every relative link in README.md and every
+// markdown file under docs/ points at an existing file.
+func checkMarkdownLinks(root string) []string {
+	var files []string
+	if _, err := os.Stat(filepath.Join(root, "README.md")); err == nil {
+		files = append(files, filepath.Join(root, "README.md"))
+	}
+	docs, _ := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	files = append(files, docs...)
+
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken link %q (no file at %s)", file, i+1, target, resolved))
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,127 @@
+package main
+
+// The policy-comparison experiment harness: `watchman compare` replays one
+// trace across a set of cache policies — including the shadow-tuned
+// adaptive admitter — and emits a cost-savings-ratio table, the repo's
+// first cross-policy, cross-workload evaluation surface.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// defaultComparePolicies is the policy lineup compared by default: the
+// paper's flagship against its adaptive extension and the two classic
+// baselines.
+const defaultComparePolicies = "lnc-ra,lnc-ra-adaptive,lru,lru-k"
+
+// compareRow is one policy's replay outcome within a comparison.
+type compareRow struct {
+	label    string
+	stats    core.Stats
+	adaptive *sim.AdaptiveResult // nil for static policies
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (default: generate -benchmark in-process)")
+	benchmark := fs.String("benchmark", "tpcd", "workload when generating in-process: tpcd, setquery or multiclass")
+	queries := fs.Int("queries", 17000, "queries when generating in-process")
+	seed := fs.Int64("seed", 1, "seed when generating in-process")
+	scale := fs.Float64("scale", 0, "database scale when generating in-process (0 = paper default)")
+	policies := fs.String("policies", defaultComparePolicies,
+		"comma-separated policies to compare (lnc-ra-adaptive selects the shadow-tuned admitter)")
+	k := fs.Int("k", 4, "reference-window size K")
+	cachePct := fs.Float64("cache-pct", 1, "cache size as % of database size")
+	cacheBytes := fs.Int64("cache-bytes", 0, "cache size in bytes (overrides -cache-pct)")
+	window := fs.Int("window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	var err error
+	if *in != "" {
+		tr, err = loadTrace(*in)
+	} else {
+		tr, err = generateTrace(*benchmark, *queries, *seed, *scale)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	capacity := *cacheBytes
+	if capacity <= 0 {
+		capacity = sim.CacheBytesForFraction(tr, *cachePct)
+	}
+
+	var rows []compareRow
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		row, err := compareOne(tr, name, capacity, *k, *window)
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		rows = append(rows, row)
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("policy comparison on %s, cache %s, K=%d", tr.Name, metrics.Bytes(capacity), *k),
+		"policy", "cost savings", "hit ratio", "admissions", "rejections", "evictions")
+	for _, r := range rows {
+		t.AddRow(r.label,
+			metrics.Ratio(r.stats.CostSavingsRatio()),
+			metrics.Ratio(r.stats.HitRatio()),
+			fmt.Sprint(r.stats.Admissions),
+			fmt.Sprint(r.stats.Rejections),
+			fmt.Sprint(r.stats.Evictions))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.adaptive != nil {
+			fmt.Printf("\nadaptive admitter: final θ=%g after %d tuning rounds (%d parameter switches), window %d refs\n",
+				r.adaptive.FinalThreshold, r.adaptive.Rounds, r.adaptive.Switches, *window)
+		}
+	}
+	return nil
+}
+
+// compareOne replays the trace under one named policy. The name
+// "lnc-ra-adaptive" (or "adaptive") selects the shadow-tuned admitter;
+// everything else resolves through parsePolicy.
+func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (compareRow, error) {
+	switch strings.ToLower(name) {
+	case "lnc-ra-adaptive", "lncra-adaptive", "adaptive":
+		res, _, err := sim.ReplayAdaptive(tr,
+			core.Config{Capacity: capacity, K: k},
+			admission.Config{Window: window})
+		if err != nil {
+			return compareRow{}, err
+		}
+		return compareRow{label: res.Policy, stats: res.Stats, adaptive: &res}, nil
+	default:
+		pk, err := parsePolicy(name)
+		if err != nil {
+			return compareRow{}, err
+		}
+		res, err := sim.ReplaySetup(tr, sim.Setup{Policy: pk, K: k}, capacity)
+		if err != nil {
+			return compareRow{}, err
+		}
+		return compareRow{label: res.Policy, stats: res.Stats}, nil
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+func TestCmdCompareSmoke(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCompare([]string{
+			"-benchmark", "tpcd", "-queries", "2000", "-seed", "1",
+			"-window", "500", "-cache-pct", "1",
+		})
+	})
+	for _, want := range []string{"LNC-RA", "LNC-RA adaptive", "LRU", "LRU-K", "adaptive admitter: final θ="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdCompareSubsetAndErrors(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCompare([]string{
+			"-benchmark", "setquery", "-queries", "1000",
+			"-policies", "lru,lfu", "-cache-pct", "2",
+		})
+	})
+	if strings.Contains(out, "adaptive") {
+		t.Errorf("static-only comparison must not print adaptive tuner state:\n%s", out)
+	}
+	if err := cmdCompare([]string{"-benchmark", "tpcd", "-queries", "200", "-policies", "bogus"}); err == nil {
+		t.Error("unknown policy must error")
+	}
+	if err := cmdCompare([]string{"-benchmark", "bogus"}); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}

@@ -8,6 +8,7 @@
 //	watchman inspect -i tpcd.trace
 //	watchman run -i tpcd.trace -policy lnc-ra -k 4 -cache-pct 1
 //	watchman experiments -figure all
+//	watchman compare -benchmark tpcd -cache-pct 1
 //	watchman serve -addr :8080 -policy lnc-ra -shards 16 -cache-bytes 67108864
 //	watchman loadgen -i tpcd.trace -concurrency 64
 package main
@@ -41,6 +42,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "loadgen":
@@ -66,6 +69,7 @@ commands:
   inspect      print statistics of a trace file
   run          replay a trace against a cache configuration
   experiments  regenerate the paper's tables and figures
+  compare      replay one trace across policies (incl. adaptive admission)
   serve        run the sharded cache as an HTTP daemon
   loadgen      replay a trace concurrently against a server or in-process cache
 

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -83,11 +84,43 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "total cache capacity in bytes")
+	adaptive := fs.Bool("adaptive", false, "enable the shadow-tuned adaptive admitter (forces -policy lnc-ra)")
+	tuneWindow := fs.Int("tune-window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sc, err := sf.build(*cacheBytes)
+	if !*adaptive {
+		// Reject rather than silently ignore a tuner flag that has no
+		// effect without -adaptive (same strictness as loadgen's -addr).
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "tune-window" {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("serve: %s has no effect without -adaptive", strings.Join(ignored, ", "))
+		}
+	}
+	cfg, err := sf.coreConfig(*cacheBytes)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	var tuner *admission.Tuner
+	if *adaptive {
+		cfg.Policy = core.LNCRA
+		tuner, err = admission.New(admission.Config{
+			Capacity: *cacheBytes,
+			K:        cfg.K,
+			Evictor:  cfg.Evictor,
+			Window:   *tuneWindow,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -105,8 +138,12 @@ func cmdServe(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	policyDesc := cfg.Policy.String()
+	if tuner != nil {
+		policyDesc += " adaptive"
+	}
 	fmt.Fprintf(os.Stderr, "watchman: serving %s cache (%d shards, %s) on %s\n",
-		*sf.policy, sc.NumShards(), metrics.Bytes(*cacheBytes), *addr)
+		policyDesc, sc.NumShards(), metrics.Bytes(*cacheBytes), *addr)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,49 @@
+package core
+
+// AdmissionDecision carries everything the cache knows at the moment it must
+// decide whether a missed retrieved set may displace its replacement
+// candidates. The cache computes the profit comparison of §2.2 up front —
+// using the sliding-window estimates when the entry has reference history,
+// and the e-profit estimates (eq. 8) when it does not — so admitters can
+// gate on the paper's quantities without recomputing them.
+type AdmissionDecision struct {
+	// Entry is the candidate retrieved set, with its reference window
+	// already updated to include the current reference.
+	Entry *Entry
+	// Victims is the minimal replacement-candidate prefix (in eviction
+	// order) that would be evicted to make room for Entry.
+	Victims []*Entry
+	// Now is the logical time of the decision.
+	Now float64
+	// HasHistory reports whether Entry had recorded references before the
+	// current one; when false, Profit and Bar are the e-profit estimates.
+	HasHistory bool
+	// Profit is the candidate's (estimated) profit λ·c/s.
+	Profit float64
+	// Bar is the aggregate (estimated) profit of Victims (§2.2, eq. 5/8).
+	Bar float64
+}
+
+// Admitter decides cache admission on the miss path. It is consulted only
+// when admitting the set requires evictions — when free space suffices the
+// set is always admitted, exactly as in Figure 1 of the paper. Admit
+// returns whether the set may displace its victims. Implementations run
+// under the cache's execution context (single-threaded, or with the owning
+// shard's mutex held) and must not call back into the cache.
+type Admitter interface {
+	Admit(AdmissionDecision) bool
+}
+
+// AdmitterFunc adapts a plain function to the Admitter interface.
+type AdmitterFunc func(AdmissionDecision) bool
+
+// Admit calls f.
+func (f AdmitterFunc) Admit(d AdmissionDecision) bool { return f(d) }
+
+// LNCA returns the paper's static LNC-A admission test: cache a set only
+// when its (estimated) profit strictly exceeds the aggregate (estimated)
+// profit of the sets it would evict. It is the default admitter of the
+// LNCRA policy.
+func LNCA() Admitter {
+	return AdmitterFunc(func(d AdmissionDecision) bool { return d.Profit > d.Bar })
+}

@@ -41,6 +41,13 @@ type Config struct {
 	// the strict tier loop measurably inverts the paper's Figure 3 trend
 	// on these workloads (ablation A6 quantifies this; see DESIGN.md).
 	StrictTiers bool
+	// Admitter, if non-nil, replaces the policy's default admission
+	// behavior: it is consulted whenever admitting a missed set would
+	// require evictions (sets that fit in free space are always admitted,
+	// per Figure 1). Nil selects the policy default — the LNC-A profit
+	// test for LNCRA, admit-always for every other policy. The adaptive
+	// admission tuner plugs in here.
+	Admitter Admitter
 	// OnAdmit, if non-nil, is called after a retrieved set is cached. The
 	// buffer-manager hint pipeline hangs off this callback.
 	OnAdmit func(*Entry)
@@ -146,6 +153,7 @@ type Cache struct {
 	cfg      Config
 	index    map[uint64][]*Entry
 	ev       evictor
+	admitter Admitter // nil = no admission control (admit always)
 	retained map[*Entry]struct{}
 	rc       *rateContext
 
@@ -176,10 +184,15 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.RetainedTimeout <= 0 {
 		cfg.RetainedTimeout = 300 // the Five Minute Rule, per §2.4
 	}
+	admitter := cfg.Admitter
+	if admitter == nil && cfg.Policy.HasAdmission() {
+		admitter = LNCA()
+	}
 	return &Cache{
 		cfg:      cfg,
 		index:    make(map[uint64][]*Entry),
 		ev:       newEvictor(cfg.Evictor, ranker{policy: cfg.Policy, strictTiers: cfg.StrictTiers}),
+		admitter: admitter,
 		retained: make(map[*Entry]struct{}),
 		rc:       &rateContext{},
 	}, nil
@@ -409,14 +422,21 @@ func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64) 
 			c.noteRejectedEntry(e, req, now)
 			return
 		}
-		if c.cfg.Policy.HasAdmission() {
+		if c.admitter != nil {
 			var incoming, bar float64
 			if hadHistory {
 				incoming, bar = e.Profit(now), profitOf(victims, now)
 			} else {
 				incoming, bar = e.EProfit(), eprofitOf(victims)
 			}
-			if incoming <= bar {
+			if !c.admitter.Admit(AdmissionDecision{
+				Entry:      e,
+				Victims:    victims,
+				Now:        now,
+				HasHistory: hadHistory,
+				Profit:     incoming,
+				Bar:        bar,
+			}) {
 				if c.cfg.OnReject != nil {
 					c.cfg.OnReject(e, victims, incoming, bar)
 				}

@@ -8,6 +8,7 @@
 //	POST /v1/reference   lookup + admission for one query submission
 //	GET  /v1/peek/{id}   non-mutating residency probe for a query ID
 //	POST /v1/invalidate  coherence hook: drop entries by base relation
+//	GET  /v1/admission   adaptive-admission threshold and tuning history
 //	GET  /stats          aggregated counters and the paper's metrics
 //	GET  /healthz        liveness probe
 //
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/admission"
 	"repro/internal/shard"
 )
 
@@ -78,6 +80,19 @@ type StatsResponse struct {
 	Shards           int     `json:"shards"`
 }
 
+// AdmissionResponse is the body of GET /v1/admission. When the cache runs
+// a static admission policy only Enabled (false) is meaningful; with
+// adaptive admission it reports the live threshold, the tuning-window and
+// candidate-grid configuration, and the retained round history (most
+// recent first).
+type AdmissionResponse struct {
+	Enabled   bool              `json:"enabled"`
+	Threshold float64           `json:"threshold,omitempty"`
+	Window    int               `json:"window,omitempty"`
+	Grid      []float64         `json:"grid,omitempty"`
+	Rounds    []admission.Round `json:"rounds,omitempty"`
+}
+
 // errorBody is the JSON shape of every non-2xx response.
 type errorBody struct {
 	Error string `json:"error"`
@@ -95,6 +110,7 @@ func New(cache *shard.Sharded) *Server {
 	s.mux.HandleFunc("POST /v1/reference", s.handleReference)
 	s.mux.HandleFunc("GET /v1/peek/{id}", s.handlePeek)
 	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
+	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -185,6 +201,21 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	}
 	dropped := s.cache.Invalidate(req.Relations...)
 	writeJSON(w, http.StatusOK, InvalidateResponse{Dropped: dropped})
+}
+
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
+	tuner := s.cache.Tuner()
+	if tuner == nil {
+		writeJSON(w, http.StatusOK, AdmissionResponse{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, AdmissionResponse{
+		Enabled:   true,
+		Threshold: tuner.Threshold(),
+		Window:    tuner.Window(),
+		Grid:      tuner.Grid(),
+		Rounds:    tuner.Rounds(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 )
 
@@ -56,6 +57,13 @@ type Config struct {
 	// Loader, if non-nil, enables the Load path with singleflight miss
 	// coalescing.
 	Loader Loader
+	// Tuner, if non-nil, enables adaptive admission: every shard's cache
+	// is gated by the tuner's published threshold (overriding
+	// Cache.Admitter), every reference is recorded into a per-shard
+	// profile, and a background tuning round runs whenever the window
+	// fills. The hot-path threshold read is a single atomic load; shadow
+	// replays run off the request path.
+	Tuner *admission.Tuner
 	// Now supplies the logical-seconds timestamp for requests whose Time
 	// is zero. Nil selects WallClock(), anchored at construction.
 	Now func() float64
@@ -109,12 +117,40 @@ type shard struct {
 	// touches their query's relations.
 	epoch      uint64
 	invalEpoch map[string]uint64
+	// clearedAt is the epoch at which invalEpoch was last pruned. Flights
+	// older than it are conservatively treated as stale (their entries
+	// may have been pruned), which keeps pruning safe: a false positive
+	// only skips caching one result, never serves a stale one.
+	clearedAt uint64
+	// profile receives every reference this shard serves when adaptive
+	// admission is enabled; nil otherwise. It has its own tiny mutex, so
+	// recording happens outside the shard lock.
+	profile *admission.Profile
+}
+
+// observe records one served reference into the shard's admission profile
+// (outside the shard lock) and triggers a background tuning round when the
+// window fills. It is a no-op without a tuner.
+func (sh *shard) observe(tuner *admission.Tuner, id string, sig uint64, size int64, cost, t float64, relations []string) {
+	if sh.profile == nil {
+		return
+	}
+	if sh.profile.Record(admission.Sample{ID: id, Sig: sig, Size: size, Cost: cost, Time: t, Relations: relations}) {
+		tuner.TriggerAsync()
+	}
 }
 
 // staleSince reports whether any of the given relations was invalidated
 // after the epoch snapshot. Must be called with mu held. A query that
-// declares no relations has opted out of coherence and is never stale.
+// declares no relations has opted out of coherence and is never stale; a
+// flight older than the last invalEpoch prune is conservatively stale.
 func (sh *shard) staleSince(relations []string, epoch uint64) bool {
+	if len(relations) == 0 {
+		return false
+	}
+	if epoch < sh.clearedAt {
+		return true
+	}
 	for _, r := range relations {
 		if sh.invalEpoch[r] > epoch {
 			return true
@@ -130,6 +166,7 @@ type Sharded struct {
 	mask   uint64
 	loader Loader
 	now    func() float64
+	tuner  *admission.Tuner
 
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
@@ -159,6 +196,7 @@ func New(cfg Config) (*Sharded, error) {
 		mask:   uint64(n - 1),
 		loader: cfg.Loader,
 		now:    cfg.Now,
+		tuner:  cfg.Tuner,
 	}
 	if s.now == nil {
 		s.now = WallClock()
@@ -169,6 +207,9 @@ func New(cfg Config) (*Sharded, error) {
 		if int64(i) < rem {
 			scfg.Capacity++
 		}
+		if s.tuner != nil {
+			scfg.Admitter = s.tuner.Admitter()
+		}
 		c, err := core.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -177,6 +218,9 @@ func New(cfg Config) (*Sharded, error) {
 			cache:      c,
 			inflight:   make(map[string]*flight),
 			invalEpoch: make(map[string]uint64),
+		}
+		if s.tuner != nil {
+			s.shards[i].profile = s.tuner.NewProfile()
 		}
 	}
 	return s, nil
@@ -207,9 +251,15 @@ func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
 	sig := core.Signature(id)
 	sh := s.shardFor(sig)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.cache.ReferenceCanonical(req, sig)
+	hit, payload = sh.cache.ReferenceCanonical(req, sig)
+	sh.mu.Unlock()
+	sh.observe(s.tuner, id, sig, req.Size, req.Cost, req.Time, req.Relations)
+	return hit, payload
 }
+
+// Tuner returns the adaptive admission tuner, or nil when the cache runs
+// a static admission policy.
+func (s *Sharded) Tuner() *admission.Tuner { return s.tuner }
 
 // Load looks the query up and, on a miss, executes it through the
 // configured Loader with singleflight coalescing: concurrent Load calls
@@ -230,8 +280,10 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 	if e, ok := sh.cache.LookupCanonical(id, sig); ok {
 		// Resident: charge a hit against the entry we just found — no
 		// second index probe inside the critical section.
+		size, cost, rels := e.Size, e.Cost, e.Relations
 		p := sh.cache.ReferenceEntry(e, req.Time)
 		sh.mu.Unlock()
+		sh.observe(s.tuner, id, sig, size, cost, req.Time, rels)
 		return p, true, nil
 	}
 	if f, ok := sh.inflight[id]; ok {
@@ -262,6 +314,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 			Relations: req.Relations, Payload: f.payload,
 		}, sig)
 		sh.mu.Unlock()
+		sh.observe(s.tuner, id, sig, f.size, f.cost, req.Time, req.Relations)
 		if refHit {
 			return p, true, nil
 		}
@@ -291,11 +344,21 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 			Relations: req.Relations, Payload: f.payload,
 		}, sig)
 	}
+	if len(sh.inflight) == 0 && len(sh.invalEpoch) > 0 {
+		// The invalidation epochs exist only to fence in-flight loads;
+		// prune the map so one entry per relation name ever invalidated
+		// cannot accumulate forever. Pending followers of flights that
+		// completed at an older epoch fall back to the conservative
+		// clearedAt check above.
+		clear(sh.invalEpoch)
+		sh.clearedAt = sh.epoch
+	}
 	sh.mu.Unlock()
 	f.wg.Done()
 	if f.err != nil {
 		return nil, false, f.err
 	}
+	sh.observe(s.tuner, id, sig, f.size, f.cost, req.Time, req.Relations)
 	return f.payload, false, nil
 }
 
@@ -336,6 +399,11 @@ func (s *Sharded) Invalidate(relations ...string) int {
 		}
 		dropped += sh.cache.Invalidate(relations...)
 		sh.mu.Unlock()
+	}
+	if s.tuner != nil {
+		// Keep the shadow caches coherent too, or candidate scores would
+		// credit hits on sets the live cache just dropped.
+		s.tuner.Invalidate(relations...)
 	}
 	return dropped
 }

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// tpcdTrace generates a small deterministic TPC-D trace for the adaptive
+// replay tests.
+func tpcdTrace(t *testing.T, queries int) *trace.Trace {
+	t.Helper()
+	_, tr, err := workload.StandardTPCD(0.01, workload.Config{Queries: queries, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayAdaptiveDeterminism(t *testing.T) {
+	tr := tpcdTrace(t, 3000)
+	capacity := CacheBytesForFraction(tr, 1)
+	cfg := core.Config{Capacity: capacity, K: 4}
+	tcfg := admission.Config{Window: 500}
+
+	a, _, err := ReplayAdaptive(tr, cfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReplayAdaptive(tr, cfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || a.FinalThreshold != b.FinalThreshold || a.Rounds != b.Rounds {
+		t.Errorf("adaptive replay is not deterministic:\n  run 1: %+v θ=%g rounds=%d\n  run 2: %+v θ=%g rounds=%d",
+			a.Stats, a.FinalThreshold, a.Rounds, b.Stats, b.FinalThreshold, b.Rounds)
+	}
+}
+
+func TestReplayAdaptiveAccounting(t *testing.T) {
+	tr := tpcdTrace(t, 3000)
+	capacity := CacheBytesForFraction(tr, 1)
+	res, tuner, err := ReplayAdaptive(tr, core.Config{Capacity: capacity, K: 4}, admission.Config{Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.References != int64(tr.Len()) {
+		t.Errorf("references = %d, want %d", res.Stats.References, tr.Len())
+	}
+	if res.Rounds != len(tuner.Rounds()) {
+		t.Errorf("result reports %d rounds, tuner history holds %d", res.Rounds, len(tuner.Rounds()))
+	}
+	if res.FinalThreshold != tuner.Threshold() {
+		t.Errorf("final threshold %g != tuner threshold %g", res.FinalThreshold, tuner.Threshold())
+	}
+	if res.Policy != "LNC-RA adaptive" {
+		t.Errorf("policy label = %q", res.Policy)
+	}
+}

@@ -55,9 +55,27 @@
 // can use Sharded.Reference instead, which mirrors Cache.Reference. The
 // `watchman serve` command exposes a Sharded cache over HTTP, and
 // `watchman loadgen` replays traces against it concurrently.
+//
+// # Adaptive admission
+//
+// The LNC-A admission rule generalizes to admit ⇔ profit > θ·bar, and an
+// AdmissionTuner tunes θ online by scoring a grid of candidates against
+// shadow caches fed with recent traffic:
+//
+//	tuner, err := watchman.NewAdmissionTuner(watchman.AdmissionConfig{Capacity: 1 << 30})
+//	cache, err := watchman.NewSharded(watchman.ShardedConfig{
+//		Cache: watchman.Config{Capacity: 1 << 30, K: 4, Policy: watchman.LNCRA},
+//		Tuner: tuner,
+//	})
+//
+// The hot-path threshold read is a single atomic load; tuning rounds run
+// in the background. `watchman compare` measures the adaptive admitter
+// against the static policies, and `watchman serve -adaptive` exposes the
+// tuner state at GET /v1/admission.
 package watchman
 
 import (
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/shard"
 )
@@ -149,6 +167,41 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) { return shard.New(cfg) }
 // seconds, anchored at the moment of the call. NewSharded installs one by
 // default; it is exported so tests and multi-cache setups can share one.
 func WallClock() func() float64 { return shard.WallClock() }
+
+// Admitter decides cache admission on the miss path: it is consulted
+// whenever admitting a missed set would require evictions. Install a
+// custom one via Config.Admitter; nil selects the policy default (the
+// LNC-A profit test for LNCRA, admit-always otherwise).
+type Admitter = core.Admitter
+
+// AdmitterFunc adapts a plain function to the Admitter interface.
+type AdmitterFunc = core.AdmitterFunc
+
+// AdmissionDecision carries the quantities of the §2.2 profit comparison
+// an Admitter rules on.
+type AdmissionDecision = core.AdmissionDecision
+
+// LNCA returns the paper's static LNC-A admission test (admit only when
+// the candidate's profit strictly exceeds its victims' aggregate profit).
+func LNCA() Admitter { return core.LNCA() }
+
+// AdmissionConfig parameterizes an AdmissionTuner: shadow capacity,
+// tuning window, candidate threshold grid, EMA and hysteresis factors.
+type AdmissionConfig = admission.Config
+
+// AdmissionTuner tunes the LNC-A admission threshold online: it profiles
+// recent references, scores a log-spaced grid of candidate thresholds
+// against persistent shadow caches, and atomically publishes the winner.
+// Install one via ShardedConfig.Tuner (serving) or use Config.Admitter =
+// tuner.Admitter() with a single-threaded Cache.
+type AdmissionTuner = admission.Tuner
+
+// TuningRound summarizes one completed tuning round of an AdmissionTuner.
+type TuningRound = admission.Round
+
+// NewAdmissionTuner creates an adaptive admission tuner. The initial
+// published threshold is the static LNC-A setting θ = 1.
+func NewAdmissionTuner(cfg AdmissionConfig) (*AdmissionTuner, error) { return admission.New(cfg) }
 
 // Item is one retrieved set in the §2.3 offline model.
 type Item = core.Item

@@ -1,6 +1,7 @@
 package watchman_test
 
 import (
+	"fmt"
 	"testing"
 
 	watchman "repro"
@@ -187,5 +188,51 @@ func TestPublicShardedAPI(t *testing.T) {
 	}
 	if watchman.DefaultShards != 16 {
 		t.Fatalf("DefaultShards = %d", watchman.DefaultShards)
+	}
+}
+
+func TestPublicAdaptiveAdmissionAPI(t *testing.T) {
+	tuner, err := watchman.NewAdmissionTuner(watchman.AdmissionConfig{Capacity: 1 << 20, K: 2, Window: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tuner.Threshold(); got != 1 {
+		t.Fatalf("initial threshold = %g, want the static LNC-A setting 1", got)
+	}
+	cache, err := watchman.NewSharded(watchman.ShardedConfig{
+		Shards: 2,
+		Cache:  watchman.Config{Capacity: 1 << 20, K: 2, Policy: watchman.LNCRA},
+		Tuner:  tuner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Tuner() != tuner {
+		t.Fatal("Sharded.Tuner() must return the installed tuner")
+	}
+	for i := 0; i < 64; i++ {
+		cache.Reference(watchman.Request{
+			QueryID: fmt.Sprintf("select %d", i%8), Size: 256, Cost: 100,
+		})
+	}
+	round, ok := tuner.TuneOnce()
+	if !ok || round.Samples != 64 {
+		t.Fatalf("tuning round = %+v ok=%v, want 64 samples", round, ok)
+	}
+
+	// A custom Admitter plugs into the single-threaded cache too: one that
+	// rejects everything keeps the cache empty under pressure.
+	never := watchman.AdmitterFunc(func(watchman.AdmissionDecision) bool { return false })
+	c, err := watchman.New(watchman.Config{Capacity: 1024, K: 1, Policy: watchman.LRU, Admitter: never})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reference(watchman.Request{QueryID: "a", Time: 1, Size: 600, Cost: 1})
+	c.Reference(watchman.Request{QueryID: "b", Time: 2, Size: 600, Cost: 1})
+	if c.Resident() != 1 {
+		t.Fatalf("resident = %d, want 1 (second set needs an eviction and the admitter refused)", c.Resident())
+	}
+	if !watchman.LNCA().Admit(watchman.AdmissionDecision{Profit: 2, Bar: 1}) {
+		t.Fatal("LNCA must admit profit 2 over bar 1")
 	}
 }
