@@ -333,6 +333,48 @@ func BenchmarkShardedReference(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceWithRegistry is BenchmarkShardedReference with the
+// telemetry registry attached: same hot/cold mix, same shard counts. The
+// delta between the two is the full cost of the telemetry spine on the
+// reference path; the events stay allocation-free, so it must be a few
+// atomic adds per reference (< 5% on the contended hit path).
+func BenchmarkReferenceWithRegistry(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			reg := watchman.NewTelemetryRegistry()
+			sc, err := watchman.NewSharded(watchman.ShardedConfig{
+				Shards:   shards,
+				Cache:    watchman.Config{Capacity: 8 << 20, K: 4, Policy: watchman.LNCRA},
+				Registry: reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 1_000_003
+				for pb.Next() {
+					i++
+					var id string
+					if i%8 == 0 {
+						id = fmt.Sprintf("cold query %d", i%65536)
+					} else {
+						id = fmt.Sprintf("hot query %d", i%64)
+					}
+					sc.Reference(watchman.Request{QueryID: id, Size: 256, Cost: 100})
+				}
+			})
+			st := sc.Stats()
+			b.ReportMetric(float64(st.Hits)/float64(st.References), "hit-ratio")
+			b.ReportMetric(float64(st.References)/b.Elapsed().Seconds(), "refs/s")
+			if snap := reg.Snapshot(); snap.References() != st.References {
+				b.Fatalf("registry references %d, stats %d", snap.References(), st.References)
+			}
+		})
+	}
+}
+
 // BenchmarkCompressID measures query-ID canonicalization.
 func BenchmarkCompressID(b *testing.B) {
 	q := "select l_returnflag, l_linestatus, sum(l_quantity), avg(l_extendedprice) from lineitem where l_shipdate <= 2520 group by l_returnflag, l_linestatus"

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -27,7 +28,8 @@ const defaultComparePolicies = "lnc-ra,lnc-ra-adaptive,lru,lru-k"
 type compareRow struct {
 	label    string
 	stats    core.Stats
-	adaptive *sim.AdaptiveResult // nil for static policies
+	classes  []telemetry.ClassSnapshot // per-class breakdown from the attached registry
+	adaptive *sim.AdaptiveResult       // nil for static policies
 }
 
 func cmdCompare(args []string) error {
@@ -77,16 +79,41 @@ func cmdCompare(args []string) error {
 		rows = append(rows, row)
 	}
 
+	// Multiclass traces get one CSR column per workload class, read off
+	// each replay's telemetry registry.
+	numClasses := 0
+	for _, r := range rows {
+		if n := len(r.classes); n > numClasses {
+			numClasses = n
+		}
+	}
+	cols := []string{"policy", "cost savings"}
+	if numClasses > 1 {
+		for c := 0; c < numClasses; c++ {
+			cols = append(cols, fmt.Sprintf("class%d CSR", c))
+		}
+	}
+	cols = append(cols, "hit ratio", "admissions", "rejections", "evictions")
 	t := metrics.NewTable(
 		fmt.Sprintf("policy comparison on %s, cache %s, K=%d", tr.Name, metrics.Bytes(capacity), *k),
-		"policy", "cost savings", "hit ratio", "admissions", "rejections", "evictions")
+		cols...)
 	for _, r := range rows {
-		t.AddRow(r.label,
-			metrics.Ratio(r.stats.CostSavingsRatio()),
+		cells := []string{r.label, metrics.Ratio(r.stats.CostSavingsRatio())}
+		if numClasses > 1 {
+			for c := 0; c < numClasses; c++ {
+				if c < len(r.classes) {
+					cells = append(cells, metrics.Ratio(r.classes[c].CSR()))
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+		}
+		cells = append(cells,
 			metrics.Ratio(r.stats.HitRatio()),
 			fmt.Sprint(r.stats.Admissions),
 			fmt.Sprint(r.stats.Rejections),
 			fmt.Sprint(r.stats.Evictions))
+		t.AddRow(cells...)
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
@@ -100,28 +127,30 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
-// compareOne replays the trace under one named policy. The name
+// compareOne replays the trace under one named policy with a telemetry
+// registry attached for the per-class breakdown. The name
 // "lnc-ra-adaptive" (or "adaptive") selects the shadow-tuned admitter;
 // everything else resolves through parsePolicy.
 func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (compareRow, error) {
+	reg := telemetry.NewRegistry()
 	switch strings.ToLower(name) {
 	case "lnc-ra-adaptive", "lncra-adaptive", "adaptive":
 		res, _, err := sim.ReplayAdaptive(tr,
-			core.Config{Capacity: capacity, K: k},
+			core.Config{Capacity: capacity, K: k, Sink: reg},
 			admission.Config{Window: window})
 		if err != nil {
 			return compareRow{}, err
 		}
-		return compareRow{label: res.Policy, stats: res.Stats, adaptive: &res}, nil
+		return compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes, adaptive: &res}, nil
 	default:
 		pk, err := parsePolicy(name)
 		if err != nil {
 			return compareRow{}, err
 		}
-		res, err := sim.ReplaySetup(tr, sim.Setup{Policy: pk, K: k}, capacity)
+		res, _, err := sim.ReplayWithRegistry(tr, core.Config{Capacity: capacity, K: k, Policy: pk}, reg)
 		if err != nil {
 			return compareRow{}, err
 		}
-		return compareRow{label: res.Policy, stats: res.Stats}, nil
+		return compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes}, nil
 	}
 }

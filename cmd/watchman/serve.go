@@ -27,6 +27,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -86,6 +87,7 @@ func cmdServe(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "total cache capacity in bytes")
 	adaptive := fs.Bool("adaptive", false, "enable the shadow-tuned adaptive admitter (forces -policy lnc-ra)")
 	tuneWindow := fs.Int("tune-window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
+	telemetryOn := fs.Bool("telemetry", true, "attach the telemetry registry (GET /metrics, per-class /stats sections)")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +122,11 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
-	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner})
+	var reg *telemetry.Registry
+	if *telemetryOn {
+		reg = telemetry.NewRegistry()
+	}
+	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -141,6 +147,9 @@ func cmdServe(args []string) error {
 	policyDesc := cfg.Policy.String()
 	if tuner != nil {
 		policyDesc += " adaptive"
+	}
+	if reg != nil {
+		policyDesc += ", telemetry on"
 	}
 	fmt.Fprintf(os.Stderr, "watchman: serving %s cache (%d shards, %s) on %s\n",
 		policyDesc, sc.NumShards(), metrics.Bytes(*cacheBytes), *addr)
@@ -237,6 +246,7 @@ func cmdLoadgen(args []string) error {
 			hit, _ := sc.Reference(shard.Request{
 				QueryID:   rec.QueryID,
 				Time:      rec.Time,
+				Class:     rec.Class,
 				Size:      rec.Size,
 				Cost:      rec.Cost,
 				Relations: rec.Relations,
@@ -331,6 +341,7 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 func postReference(client *http.Client, base string, rec *trace.Record) (bool, error) {
 	body, err := json.Marshal(server.ReferenceRequest{
 		QueryID:   rec.QueryID,
+		Class:     rec.Class,
 		Size:      rec.Size,
 		Cost:      rec.Cost,
 		Relations: rec.Relations,

@@ -48,8 +48,14 @@ type Config struct {
 	// test for LNCRA, admit-always for every other policy. The adaptive
 	// admission tuner plugs in here.
 	Admitter Admitter
+	// Sink, if non-nil, receives one typed Event per lifecycle outcome
+	// (hit, admitted/rejected miss, eviction, invalidation, external
+	// miss). Sinks run under the cache's execution context and must not
+	// call back into the cache. The telemetry registry plugs in here.
+	Sink EventSink
 	// OnAdmit, if non-nil, is called after a retrieved set is cached. The
-	// buffer-manager hint pipeline hangs off this callback.
+	// buffer-manager hint pipeline hangs off this callback. It is served
+	// by an adapter sink over the same event stream Sink observes.
 	OnAdmit func(*Entry)
 	// OnEvict, if non-nil, is called after a retrieved set is evicted or
 	// invalidated.
@@ -78,6 +84,7 @@ type Stats struct {
 	Rejections      int64   `json:"rejections"`       // admissions denied by LNC-A
 	Evictions       int64   `json:"evictions"`        // retrieved sets evicted for space
 	Invalidations   int64   `json:"invalidations"`    // entries dropped by coherence events
+	ExternalMisses  int64   `json:"external_misses"`  // references charged via Account(req, false)
 	RetainedDropped int64   `json:"retained_dropped"` // retained records pruned
 	FragSamples     int64   `json:"frag_samples"`     // fragmentation samples taken
 	FragSum         float64 `json:"frag_sum"`         // Σ unused-fraction samples
@@ -113,6 +120,7 @@ func (s *Stats) Add(o Stats) {
 	s.Rejections += o.Rejections
 	s.Evictions += o.Evictions
 	s.Invalidations += o.Invalidations
+	s.ExternalMisses += o.ExternalMisses
 	s.RetainedDropped += o.RetainedDropped
 	s.FragSamples += o.FragSamples
 	s.FragSum += o.FragSum
@@ -138,6 +146,10 @@ type Request struct {
 	// Time is the submission time in logical seconds. Times must be
 	// non-decreasing across calls.
 	Time float64
+	// Class is the workload class of the submission (the multiclass
+	// extension of §6). Single-class workloads use class 0. It keys the
+	// telemetry registry's per-class accounting.
+	Class int
 	// Size is the retrieved set size in bytes (> 0).
 	Size int64
 	// Cost is the execution cost in logical block reads (≥ 0).
@@ -154,6 +166,7 @@ type Cache struct {
 	index    map[uint64][]*Entry
 	ev       evictor
 	admitter Admitter // nil = no admission control (admit always)
+	sinks    []EventSink
 	retained map[*Entry]struct{}
 	rc       *rateContext
 
@@ -188,11 +201,21 @@ func New(cfg Config) (*Cache, error) {
 	if admitter == nil && cfg.Policy.HasAdmission() {
 		admitter = LNCA()
 	}
+	var sinks []EventSink
+	if cfg.Sink != nil {
+		sinks = append(sinks, cfg.Sink)
+	}
+	if cfg.OnAdmit != nil || cfg.OnEvict != nil || cfg.OnReject != nil {
+		// The legacy callbacks ride the same event stream as Sink, via one
+		// adapter; the cache itself only ever emits events.
+		sinks = append(sinks, callbackSink{cfg.OnAdmit, cfg.OnEvict, cfg.OnReject})
+	}
 	return &Cache{
 		cfg:      cfg,
 		index:    make(map[uint64][]*Entry),
 		ev:       newEvictor(cfg.Evictor, ranker{policy: cfg.Policy, strictTiers: cfg.StrictTiers}),
 		admitter: admitter,
+		sinks:    sinks,
 		retained: make(map[*Entry]struct{}),
 		rc:       &rateContext{},
 	}, nil
@@ -306,12 +329,41 @@ func (c *Cache) ReferenceCanonical(req Request, sig uint64) (hit bool, payload a
 
 // ReferenceEntry charges a hit against a resident entry previously
 // returned by Lookup/LookupCanonical, using the entry's stored size and
-// cost. It is the single-lookup hit path for concurrent front-ends: the
-// caller has already located the entry, so no second index probe runs.
-func (c *Cache) ReferenceEntry(e *Entry, t float64) (payload any) {
+// cost but the referencing request's class (matching Reference, which
+// attributes hits to the submitting class, not the admitting one). It is
+// the single-lookup hit path for concurrent front-ends: the caller has
+// already located the entry, so no second index probe runs.
+func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 	now := c.tick(t, e.Cost)
-	c.chargeHit(e, e.Cost, now)
+	c.chargeHit(e, e.Cost, class, now)
 	return e.Payload
+}
+
+// Account charges one reference into Stats without running the lookup or
+// admission stages of the lifecycle. hit reports how the reference was
+// served: true charges a cache hit resolved elsewhere (cost saved, bytes
+// served); false charges an external miss — a reference that consulted
+// the cache but whose outcome never reached the miss lifecycle, such as a
+// stale singleflight result or a failed loader execution — counted in
+// Stats.ExternalMisses so the CSR and hit-ratio denominators stay honest
+// under invalidation churn. Request.Time obeys the usual clock contract;
+// Size and Cost may be zero when unknown (a failed execution).
+func (c *Cache) Account(req Request, hit bool) {
+	now := c.tick(req.Time, req.Cost)
+	kind := EventExternalMiss
+	if hit {
+		c.stats.Hits++
+		c.stats.CostSaved += req.Cost
+		c.stats.BytesServed += req.Size
+		kind = EventHit
+	} else {
+		c.stats.ExternalMisses++
+	}
+	if c.hasSinks() {
+		c.emit(Event{Kind: kind, Time: now, Class: req.Class, ID: req.QueryID,
+			Size: req.Size, Cost: req.Cost, Relations: req.Relations})
+	}
+	c.sampleFragmentation()
 }
 
 // tick advances the logical clock and the per-reference counters shared by
@@ -333,23 +385,34 @@ func (c *Cache) tick(t, cost float64) float64 {
 	return now
 }
 
-// chargeHit records a hit on a resident entry.
-func (c *Cache) chargeHit(e *Entry, cost, now float64) {
+// chargeHit is the account stage of the hit path: it records the
+// reference, touches the evictor, accrues the cost-savings counters and
+// emits the Hit event.
+func (c *Cache) chargeHit(e *Entry, cost float64, class int, now float64) {
 	e.window.record(now)
 	c.ev.touch(e, now)
 	c.stats.Hits++
 	c.stats.CostSaved += cost
 	c.stats.BytesServed += e.Size
+	if c.hasSinks() {
+		c.emit(Event{Kind: EventHit, Time: now, Class: class, ID: e.ID,
+			Size: e.Size, Cost: cost, Relations: e.Relations, Entry: e})
+	}
 	c.sampleFragmentation()
 }
 
+// reference drives the lifecycle of one submission: the lookup stage finds
+// the entry, the account stage charges the reference (hit or miss), and on
+// a miss the admit and insert/evict stages run via miss.
 func (c *Cache) reference(req Request, id string, sig uint64) (hit bool, payload any) {
 	now := c.tick(req.Time, req.Cost)
 
+	// Lookup stage.
 	e := c.lookup(id, sig)
 
 	if e != nil && e.resident {
-		c.chargeHit(e, req.Cost, now)
+		// Account stage, hit outcome.
+		c.chargeHit(e, req.Cost, req.Class, now)
 		return true, e.Payload
 	}
 
@@ -388,9 +451,10 @@ func (c *Cache) enforceRetainedBudget(now float64) {
 	}
 }
 
-// miss implements the two miss cases of the LNC-RA pseudo-code: admit
-// directly when free space suffices, otherwise run replacement selection
-// and (for LNC-RA) the admission test.
+// miss drives the miss half of the lifecycle, decomposed into the named
+// stages of the LNC-RA pseudo-code: the account stage records reference
+// information, the admit stage selects victims and rules on admission, and
+// the insert/evict stage commits the decision.
 func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64) {
 	needBytes := req.Size + c.cfg.MetadataOverhead
 	if needBytes > c.cfg.Capacity {
@@ -399,60 +463,82 @@ func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64) 
 		return
 	}
 
-	// Update (or allocate) reference information first, as in Figure 1:
-	// profit comparisons below see the current reference.
+	e, hadHistory := c.accountMiss(e, id, sig, req, now)
+	victims, admitted := c.admit(e, hadHistory, req, now)
+	if !admitted {
+		return
+	}
+	c.commit(e, victims, req, now)
+}
+
+// accountMiss is the account stage of the miss path: it updates (or
+// allocates) the entry's reference information first, as in Figure 1, so
+// the profit comparisons of the admit stage see the current reference. It
+// returns the entry and whether it had reference history before this call.
+func (c *Cache) accountMiss(e *Entry, id string, sig uint64, req Request, now float64) (*Entry, bool) {
 	hadHistory := e != nil && e.window.count() > 0
 	if e == nil {
-		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Relations: req.Relations, rc: c.rc}
+		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Class: req.Class, Relations: req.Relations, rc: c.rc}
 		e.window = newRefWindow(c.cfg.K)
 	}
 	e.window.record(now)
+	return e, hadHistory
+}
 
+// admit is the admit stage: when free space suffices the set is admitted
+// outright (Figure 1); otherwise replacement selection produces the victim
+// list and the configured Admitter rules on the §2.2 profit comparison.
+// Denials are recorded (with the failed comparison on the event) and
+// return admitted = false.
+func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64) (victims []*Entry, admitted bool) {
 	free := c.cfg.Capacity - c.usedPayload - c.metaBytes()
 	extraMeta := c.cfg.MetadataOverhead
 	if _, isRetained := c.retained[e]; isRetained {
 		extraMeta = 0 // its record is already charged
 	}
-
-	var victims []*Entry
-	if free < req.Size+extraMeta {
-		victims = c.ev.candidates(req.Size+extraMeta-free, now)
-		if victims == nil {
-			// Cannot free enough space (pathological capacity); reject.
-			c.noteRejectedEntry(e, req, now)
-			return
-		}
-		if c.admitter != nil {
-			var incoming, bar float64
-			if hadHistory {
-				incoming, bar = e.Profit(now), profitOf(victims, now)
-			} else {
-				incoming, bar = e.EProfit(), eprofitOf(victims)
-			}
-			if !c.admitter.Admit(AdmissionDecision{
-				Entry:      e,
-				Victims:    victims,
-				Now:        now,
-				HasHistory: hadHistory,
-				Profit:     incoming,
-				Bar:        bar,
-			}) {
-				if c.cfg.OnReject != nil {
-					c.cfg.OnReject(e, victims, incoming, bar)
-				}
-				c.noteRejectedEntry(e, req, now)
-				return
-			}
-		}
+	if free >= req.Size+extraMeta {
+		return nil, true
 	}
 
+	victims = c.ev.candidates(req.Size+extraMeta-free, now)
+	if victims == nil {
+		// Cannot free enough space (pathological capacity); reject.
+		c.noteRejectedEntry(e, req, now, nil, 0, 0)
+		return nil, false
+	}
+	if c.admitter != nil {
+		var incoming, bar float64
+		if hadHistory {
+			incoming, bar = e.Profit(now), profitOf(victims, now)
+		} else {
+			incoming, bar = e.EProfit(), eprofitOf(victims)
+		}
+		if !c.admitter.Admit(AdmissionDecision{
+			Entry:      e,
+			Victims:    victims,
+			Now:        now,
+			HasHistory: hadHistory,
+			Profit:     incoming,
+			Bar:        bar,
+		}) {
+			c.noteRejectedEntry(e, req, now, victims, incoming, bar)
+			return nil, false
+		}
+	}
+	return victims, true
+}
+
+// commit is the insert/evict stage: evict the victims, make the entry
+// resident and emit the MissAdmitted event.
+func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64) {
 	for _, v := range victims {
 		c.evict(v, now)
 	}
 	c.insert(e, req)
 	c.stats.Admissions++
-	if c.cfg.OnAdmit != nil {
-		c.cfg.OnAdmit(e)
+	if c.hasSinks() {
+		c.emit(Event{Kind: EventMissAdmitted, Time: now, Class: e.Class, ID: e.ID,
+			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e})
 	}
 }
 
@@ -461,25 +547,36 @@ func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now f
 	if e == nil {
 		if !c.retainsInfo() {
 			c.stats.Rejections++
+			if c.hasSinks() {
+				c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: id,
+					Size: req.Size, Cost: req.Cost, Relations: req.Relations})
+			}
 			return
 		}
-		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Relations: req.Relations, rc: c.rc}
+		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Class: req.Class, Relations: req.Relations, rc: c.rc}
 		e.window = newRefWindow(c.cfg.K)
 		c.indexInsert(e)
 		c.retained[e] = struct{}{}
 	}
 	e.window.record(now)
-	c.noteRejectedEntry(e, req, now)
+	c.noteRejectedEntry(e, req, now, nil, 0, 0)
 }
 
 // noteRejectedEntry records a rejection for an entry whose reference window
-// is already up to date. The entry's reference information is retained
-// (§2.4: "a retrieved set that is initially rejected from cache may be
-// admitted after sufficient reference information is collected"), unless
-// the policy does not keep retained info, in which case an entry not in any
-// structure is dropped.
-func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64) {
+// is already up to date, emitting the MissRejected event (victims, profit
+// and bar carry the failed admission comparison when an Admitter denied
+// the set; victims is nil otherwise). The entry's reference information is
+// retained (§2.4: "a retrieved set that is initially rejected from cache
+// may be admitted after sufficient reference information is collected"),
+// unless the policy does not keep retained info, in which case an entry
+// not in any structure is dropped.
+func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64, victims []*Entry, profit, bar float64) {
 	c.stats.Rejections++
+	if c.hasSinks() {
+		c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: e.ID,
+			Size: req.Size, Cost: req.Cost, Relations: req.Relations, Entry: e,
+			Victims: victims, Profit: profit, Bar: bar})
+	}
 	if _, ok := c.retained[e]; ok {
 		return
 	}
@@ -502,6 +599,7 @@ func (c *Cache) insert(e *Entry, req Request) {
 	}
 	e.Size = req.Size
 	e.Cost = req.Cost
+	e.Class = req.Class
 	e.Relations = req.Relations
 	e.Payload = req.Payload
 	e.resident = true
@@ -511,7 +609,7 @@ func (c *Cache) insert(e *Entry, req Request) {
 }
 
 // evict removes a resident entry, retaining its reference information when
-// the policy keeps it.
+// the policy keeps it, and emits the Evict event.
 func (c *Cache) evict(e *Entry, now float64) {
 	e.resident = false
 	e.Payload = nil
@@ -524,8 +622,9 @@ func (c *Cache) evict(e *Entry, now float64) {
 	} else {
 		c.indexRemove(e)
 	}
-	if c.cfg.OnEvict != nil {
-		c.cfg.OnEvict(e)
+	if c.hasSinks() {
+		c.emit(Event{Kind: EventEvict, Time: now, Class: e.Class, ID: e.ID,
+			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e})
 	}
 }
 
@@ -596,20 +695,22 @@ func (c *Cache) Invalidate(relations ...string) int {
 	}
 	dropped := 0
 	for _, e := range victims {
-		if e.resident {
+		wasResident := e.resident
+		if wasResident {
 			e.resident = false
 			e.Payload = nil
 			c.usedPayload -= e.Size
 			c.resident--
 			c.ev.remove(e)
 			dropped++
-			if c.cfg.OnEvict != nil {
-				c.cfg.OnEvict(e)
-			}
 		}
 		delete(c.retained, e)
 		c.indexRemove(e)
 		c.stats.Invalidations++
+		if c.hasSinks() {
+			c.emit(Event{Kind: EventInvalidate, Time: c.now, Class: e.Class, ID: e.ID,
+				Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e, Resident: wasResident})
+		}
 	}
 	return dropped
 }

@@ -17,6 +17,10 @@ type Entry struct {
 	// Cost is the execution cost of the associated query in logical block
 	// reads.
 	Cost float64
+	// Class is the workload class of the query (multiclass extension, §6);
+	// the telemetry registry's per-class accounting keys on it. Single-
+	// class workloads use class 0.
+	Class int
 	// Relations lists the base relations the query reads; the coherence
 	// hook invalidates entries by these names.
 	Relations []string

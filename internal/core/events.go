@@ -1,0 +1,181 @@
+package core
+
+// This file is the core half of the telemetry spine: the reference
+// lifecycle (lookup → account → admit → insert/evict) emits one typed
+// Event per outcome on the cache's configured EventSink. Everything the
+// paper's accounting is judged by — hits, admissions, rejections,
+// evictions, coherence drops, and the externally-resolved misses that
+// bypass admission — flows through here, so a single sink observes the
+// complete reference stream. The legacy OnAdmit/OnEvict/OnReject
+// callbacks are implemented as one adapter sink over the same events.
+
+// EventKind enumerates the cache lifecycle outcomes an EventSink observes.
+type EventKind uint8
+
+// The lifecycle outcomes. Every Reference call ends in exactly one of
+// Hit, MissAdmitted or MissRejected; every Account call ends in Hit or
+// ExternalMiss; Evict and Invalidate record entry departures (space
+// pressure and coherence, respectively) and are not references.
+const (
+	// EventHit is a reference satisfied from cache.
+	EventHit EventKind = iota
+	// EventMissAdmitted is a miss whose retrieved set was cached.
+	EventMissAdmitted
+	// EventMissRejected is a miss denied admission (by the admission test,
+	// by a set too large to ever fit, or by an unsatisfiable victim search).
+	EventMissRejected
+	// EventEvict is a resident set evicted by replacement.
+	EventEvict
+	// EventInvalidate is an entry (resident or retained) dropped by a
+	// coherence event.
+	EventInvalidate
+	// EventExternalMiss is a reference charged via Account(req, false): it
+	// consulted the cache but its outcome was resolved outside the miss
+	// lifecycle (stale singleflight results, loader failures).
+	EventExternalMiss
+
+	numEventKinds // sentinel; keep last
+)
+
+// String names the kind for logs and metrics.
+func (k EventKind) String() string {
+	switch k {
+	case EventHit:
+		return "hit"
+	case EventMissAdmitted:
+		return "miss_admitted"
+	case EventMissRejected:
+		return "miss_rejected"
+	case EventEvict:
+		return "evict"
+	case EventInvalidate:
+		return "invalidate"
+	case EventExternalMiss:
+		return "external_miss"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one typed lifecycle notification. It is passed by value and
+// must not be retained beyond the Emit call if Entry or Victims are kept:
+// those point into live cache state.
+type Event struct {
+	// Kind is the lifecycle outcome.
+	Kind EventKind
+	// Time is the logical time of the event.
+	Time float64
+	// Class is the workload class of the request (or of the entry, for
+	// departures). Single-class workloads use class 0.
+	Class int
+	// ID is the compressed query ID.
+	ID string
+	// Size is the retrieved-set size in bytes.
+	Size int64
+	// Cost is the execution cost charged or saved by the event, in logical
+	// block reads.
+	Cost float64
+	// Relations lists the base relations the query reads.
+	Relations []string
+	// Entry is the cache record involved, when one exists. It is nil for
+	// ExternalMiss events and for rejections of sets that never
+	// materialized a record.
+	Entry *Entry
+	// Resident reports, on Invalidate events, whether the entry still held
+	// its payload when the coherence event dropped it (false = only
+	// retained reference information was dropped).
+	Resident bool
+	// Victims is the replacement-candidate list of a failed admission
+	// comparison; it is non-nil exactly when an Admitter denied the set.
+	Victims []*Entry
+	// Profit and Bar are the two sides of the failed admission comparison,
+	// meaningful only on MissRejected events with Victims set.
+	Profit, Bar float64
+}
+
+// EventSink observes lifecycle events. Implementations run under the
+// cache's execution context (single-threaded, or with the owning shard's
+// mutex held), must not call back into the cache, and must be cheap: the
+// hit path emits an event per reference.
+type EventSink interface {
+	Emit(Event)
+}
+
+// EventSinkFunc adapts a plain function to the EventSink interface.
+type EventSinkFunc func(Event)
+
+// Emit calls f.
+func (f EventSinkFunc) Emit(ev Event) { f(ev) }
+
+// multiSink fans one event stream out to several sinks, in order.
+type multiSink []EventSink
+
+// Emit forwards the event to every sink.
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// MultiSink combines several sinks into one that forwards every event to
+// each, in argument order. Nil sinks are skipped; a single survivor is
+// returned unwrapped.
+func MultiSink(sinks ...EventSink) EventSink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// callbackSink implements the legacy OnAdmit/OnEvict/OnReject callbacks as
+// one adapter over the event stream, preserving their exact firing rules:
+// OnAdmit after every admission, OnEvict after every replacement eviction
+// and after coherence drops of resident sets, OnReject only when an
+// Admitter denied the set (Victims non-nil).
+type callbackSink struct {
+	onAdmit  func(*Entry)
+	onEvict  func(*Entry)
+	onReject func(e *Entry, victims []*Entry, profit, bar float64)
+}
+
+// Emit dispatches the event to the matching callback.
+func (s callbackSink) Emit(ev Event) {
+	switch ev.Kind {
+	case EventMissAdmitted:
+		if s.onAdmit != nil {
+			s.onAdmit(ev.Entry)
+		}
+	case EventEvict:
+		if s.onEvict != nil {
+			s.onEvict(ev.Entry)
+		}
+	case EventInvalidate:
+		if ev.Resident && s.onEvict != nil {
+			s.onEvict(ev.Entry)
+		}
+	case EventMissRejected:
+		if ev.Victims != nil && s.onReject != nil {
+			s.onReject(ev.Entry, ev.Victims, ev.Profit, ev.Bar)
+		}
+	}
+}
+
+// emit forwards one event to every configured sink. Call sites guard with
+// hasSinks so the hit path never constructs an Event nobody consumes.
+func (c *Cache) emit(ev Event) {
+	for _, s := range c.sinks {
+		s.Emit(ev)
+	}
+}
+
+// hasSinks reports whether any sink is attached.
+func (c *Cache) hasSinks() bool { return len(c.sinks) > 0 }

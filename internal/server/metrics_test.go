@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// itoa shortens the int64 → decimal string conversions in assertions.
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }
+
+// newTelemetryServer builds a test server over a sharded cache with a
+// telemetry registry attached and replays a small mixed-class workload
+// through the HTTP reference endpoint.
+func newTelemetryServer(t *testing.T) (*httptest.Server, *shard.Sharded) {
+	t.Helper()
+	sc, err := shard.New(shard.Config{
+		Shards:   4,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sc).Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 40; i++ {
+		body := strings.NewReader(`{"query_id":"q ` + string(rune('a'+i%8)) + `","class":` +
+			[]string{"0", "1", "2"}[i%3] + `,"size":64,"cost":10,"relations":["lineitem"]}`)
+		resp, err := http.Post(ts.URL+"/v1/reference", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	return ts, sc
+}
+
+// sampleLine matches one Prometheus text-format sample:
+// name{optional="labels"} value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eEInfNa]+$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, sc := newTelemetryServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	for _, want := range []string{
+		"watchman_hits_total", "watchman_misses_admitted_total",
+		"watchman_misses_rejected_total", "watchman_external_misses_total",
+		"watchman_evictions_total", "watchman_invalidations_total",
+		`watchman_class_csr{class="0"}`, `watchman_class_csr{class="2"}`,
+		`watchman_relation_cost_total{relation="lineitem"}`,
+		`watchman_load_latency_seconds_bucket{le="+Inf"}`,
+		"watchman_load_latency_seconds_sum", "watchman_load_latency_seconds_count",
+		"watchman_resident_sets", "watchman_used_bytes", "watchman_capacity_bytes",
+		"watchman_shards 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Every line must be a comment or a well-formed sample, and every
+	// sample's family must have been announced by a preceding TYPE line.
+	announced := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			announced[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !announced[name] && !announced[family] {
+			t.Fatalf("sample %q has no TYPE announcement", name)
+		}
+	}
+
+	// Cross-check one counter against the cache's own stats.
+	st := sc.Stats()
+	if !strings.Contains(out, "watchman_references_total "+itoa(st.References)) {
+		t.Errorf("references counter disagrees with stats %d:\n%s", st.References, out)
+	}
+}
+
+func TestMetricsWithoutRegistry(t *testing.T) {
+	sc, err := shard.New(shard.Config{Shards: 2, Cache: core.Config{Capacity: 1 << 20, Policy: core.LRU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sc).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status without registry = %s, want 404", resp.Status)
+	}
+}
+
+func TestStatsCSV(t *testing.T) {
+	ts, sc := newTelemetryServer(t)
+	resp, err := http.Get(ts.URL + "/stats?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("content type = %q", ct)
+	}
+	rows, err := csv.NewReader(resp.Body).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+3+1 { // header + classes 0..2 + total
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	wantHeader := []string{"class", "references", "hits", "external_misses", "cost_total", "cost_saved", "csr", "hit_ratio"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Fatalf("header = %v, want %v", rows[0], wantHeader)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last[0] != "total" || last[1] != itoa(sc.Stats().References) {
+		t.Fatalf("total row = %v", last)
+	}
+}
+
+func TestReferenceRejectsOutOfRangeClass(t *testing.T) {
+	ts, sc := newTelemetryServer(t)
+	before := sc.Stats().References
+	for _, class := range []string{"-1", "1073741824", strconv.Itoa(telemetry.MaxTrackedClasses)} {
+		body := strings.NewReader(`{"query_id":"bomb","size":1,"cost":1,"class":` + class + `}`)
+		resp, err := http.Post(ts.URL+"/v1/reference", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("class %s: status = %s, want 400", class, resp.Status)
+		}
+	}
+	if got := sc.Stats().References; got != before {
+		t.Fatalf("rejected requests reached the cache: references %d → %d", before, got)
+	}
+}
+
+func TestStatsUnknownFormat(t *testing.T) {
+	ts, _ := newTelemetryServer(t)
+	resp, err := http.Get(ts.URL + "/stats?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+}
+
+func TestStatsJSONClasses(t *testing.T) {
+	ts, sc := newTelemetryServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(st.Classes))
+	}
+	var refs int64
+	for _, c := range st.Classes {
+		refs += c.References
+	}
+	if refs != sc.Stats().References {
+		t.Fatalf("per-class references sum to %d, want %d", refs, sc.Stats().References)
+	}
+	if len(st.Relations) != 1 || st.Relations[0].Relation != "lineitem" {
+		t.Fatalf("relations = %+v", st.Relations)
+	}
+}

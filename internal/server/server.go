@@ -10,11 +10,15 @@
 //	POST /v1/invalidate  coherence hook: drop entries by base relation
 //	GET  /v1/admission   adaptive-admission threshold and tuning history
 //	GET  /stats          aggregated counters and the paper's metrics
+//	                     (?format=csv for a per-class CSV breakdown)
+//	GET  /metrics        Prometheus text exposition of the telemetry spine
 //	GET  /healthz        liveness probe
 //
-// All bodies are JSON. Request times are logical seconds; a zero or
-// omitted time means "now" per the cache's time source, so live traffic
-// needs no clock of its own while trace replays can supply exact stamps.
+// All bodies are JSON unless noted. Request times are logical seconds; a
+// zero or omitted time means "now" per the cache's time source, so live
+// traffic needs no clock of its own while trace replays can supply exact
+// stamps. /metrics and the per-class /stats sections require the cache to
+// have a telemetry registry attached (shard.Config.Registry).
 package server
 
 import (
@@ -23,7 +27,9 @@ import (
 	"net/http"
 
 	"repro/internal/admission"
+	"repro/internal/metrics"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies; retrieved-set payloads travel in the
@@ -38,7 +44,10 @@ type ReferenceRequest struct {
 	// Time is the submission time in logical seconds. Zero or omitted
 	// means "now" per the cache's time source — live clients should leave
 	// it unset rather than supplying clocks of their own.
-	Time      float64  `json:"time,omitempty"`
+	Time float64 `json:"time,omitempty"`
+	// Class is the workload class of the submission (multiclass traces);
+	// it keys the per-class telemetry breakdowns. Omitted means class 0.
+	Class     int      `json:"class,omitempty"`
 	Size      int64    `json:"size"`
 	Cost      float64  `json:"cost"`
 	Relations []string `json:"relations,omitempty"`
@@ -68,7 +77,9 @@ type InvalidateResponse struct {
 }
 
 // StatsResponse is the body of GET /stats: the raw aggregated counters
-// plus the paper's derived metrics and the cache's occupancy.
+// plus the paper's derived metrics, the cache's occupancy, and — when a
+// telemetry registry is attached — the per-class and per-relation
+// cost-savings breakdowns.
 type StatsResponse struct {
 	shard.Stats
 	CostSavingsRatio float64 `json:"cost_savings_ratio"`
@@ -78,6 +89,12 @@ type StatsResponse struct {
 	UsedBytes        int64   `json:"used_bytes"`
 	CapacityBytes    int64   `json:"capacity_bytes"`
 	Shards           int     `json:"shards"`
+	// Classes is the per-class breakdown (ascending by class), present
+	// only with a telemetry registry attached.
+	Classes []telemetry.ClassSnapshot `json:"classes,omitempty"`
+	// Relations is the per-relation breakdown (ascending by name), present
+	// only with a telemetry registry attached.
+	Relations []telemetry.RelationSnapshot `json:"relations,omitempty"`
 }
 
 // AdmissionResponse is the body of GET /v1/admission. When the cache runs
@@ -112,6 +129,7 @@ func New(cache *shard.Sharded) *Server {
 	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -164,10 +182,17 @@ func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 	case req.Time < 0:
 		writeError(w, http.StatusBadRequest, "time must be non-negative, got %g", req.Time)
 		return
+	case req.Class < 0 || req.Class >= telemetry.MaxTrackedClasses:
+		// The per-class telemetry table is dense; an unbounded index would
+		// be an allocation amplifier.
+		writeError(w, http.StatusBadRequest, "class must be in [0, %d), got %d",
+			telemetry.MaxTrackedClasses, req.Class)
+		return
 	}
 	hit, payload := s.cache.Reference(shard.Request{
 		QueryID:   req.QueryID,
 		Time:      req.Time,
+		Class:     req.Class,
 		Size:      req.Size,
 		Cost:      req.Cost,
 		Relations: req.Relations,
@@ -219,8 +244,17 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+	case "csv":
+		s.writeStatsCSV(w)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+		return
+	}
 	st := s.cache.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Stats:            st,
 		CostSavingsRatio: st.CostSavingsRatio(),
 		HitRatio:         st.HitRatio(),
@@ -229,7 +263,65 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UsedBytes:        s.cache.UsedBytes(),
 		CapacityBytes:    s.cache.Capacity(),
 		Shards:           s.cache.NumShards(),
-	})
+	}
+	if reg := s.cache.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		resp.Classes = snap.Classes
+		resp.Relations = snap.Relations
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsCSVTable renders the per-class cost-savings breakdown plus a
+// "total" row as a metrics.Table. With a registry attached, the class
+// rows and the total come from one snapshot, so the table is internally
+// consistent even under live traffic; without one, only the total row
+// (from the aggregated shard counters) is available.
+func (s *Server) statsCSVTable() *metrics.Table {
+	t := metrics.NewTable("", "class", "references", "hits", "external_misses",
+		"cost_total", "cost_saved", "csr", "hit_ratio")
+	if reg := s.cache.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		for _, c := range snap.Classes {
+			t.AddRowValues(c.Class, c.References, c.Hits, c.ExternalMisses,
+				c.CostTotal, c.CostSaved, metrics.Ratio(c.CSR()), metrics.Ratio(c.HitRatio()))
+		}
+		t.AddRowValues("total", snap.References(), snap.Hits, snap.ExternalMisses,
+			snap.CostTotal, snap.CostSaved, metrics.Ratio(snap.CSR()), metrics.Ratio(snap.HitRatio()))
+		return t
+	}
+	st := s.cache.Stats()
+	t.AddRowValues("total", st.References, st.Hits, st.ExternalMisses,
+		st.CostTotal, st.CostSaved, metrics.Ratio(st.CostSavingsRatio()), metrics.Ratio(st.HitRatio()))
+	return t
+}
+
+// writeStatsCSV serves GET /stats?format=csv via metrics.Table.CSV.
+func (s *Server) writeStatsCSV(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	_ = s.statsCSVTable().CSV(w)
+}
+
+// handleMetrics serves the Prometheus text exposition format: the
+// registry's counters, breakdowns and histograms, followed by the
+// occupancy gauges only the serving layer knows.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.cache.Registry()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "no telemetry registry attached (set shard.Config.Registry)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := reg.WritePrometheus(w); err != nil {
+		return // client went away mid-write; nothing sensible to send
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("watchman_resident_sets", "Retrieved sets currently cached.", int64(s.cache.Resident()))
+	gauge("watchman_used_bytes", "Payload plus metadata bytes charged against capacity.", s.cache.UsedBytes())
+	gauge("watchman_capacity_bytes", "Total configured cache capacity.", s.cache.Capacity())
+	gauge("watchman_shards", "Number of cache shards.", int64(s.cache.NumShards()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Request is one query submission; it aliases core.Request so callers of
@@ -57,6 +58,13 @@ type Config struct {
 	// Loader, if non-nil, enables the Load path with singleflight miss
 	// coalescing.
 	Loader Loader
+	// Registry, if non-nil, receives every cache lifecycle event: each
+	// shard's core cache gets a per-shard sink fanning into this one
+	// registry (composed with any Cache.Sink the caller configured), the
+	// Load path's loader executions are timed into its latency histogram,
+	// and the external-miss outcomes Load charges via Cache.Account are
+	// counted. GET /metrics and the per-class /stats sections read it.
+	Registry *telemetry.Registry
 	// Tuner, if non-nil, enables adaptive admission: every shard's cache
 	// is gated by the tuner's published threshold (overriding
 	// Cache.Admitter), every reference is recorded into a per-shard
@@ -167,6 +175,7 @@ type Sharded struct {
 	loader Loader
 	now    func() float64
 	tuner  *admission.Tuner
+	reg    *telemetry.Registry
 
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
@@ -197,6 +206,7 @@ func New(cfg Config) (*Sharded, error) {
 		loader: cfg.Loader,
 		now:    cfg.Now,
 		tuner:  cfg.Tuner,
+		reg:    cfg.Registry,
 	}
 	if s.now == nil {
 		s.now = WallClock()
@@ -209,6 +219,11 @@ func New(cfg Config) (*Sharded, error) {
 		}
 		if s.tuner != nil {
 			scfg.Admitter = s.tuner.Admitter()
+		}
+		if s.reg != nil {
+			// Fan this shard's lifecycle events into the shared registry,
+			// preserving any sink the caller installed.
+			scfg.Sink = core.MultiSink(scfg.Sink, s.reg.ShardSink(i))
 		}
 		c, err := core.New(scfg)
 		if err != nil {
@@ -261,6 +276,22 @@ func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
 // a static admission policy.
 func (s *Sharded) Tuner() *admission.Tuner { return s.tuner }
 
+// Registry returns the telemetry registry the cache's lifecycle events
+// fan into, or nil when none was configured.
+func (s *Sharded) Registry() *telemetry.Registry { return s.reg }
+
+// accountExternal charges a Load outcome that never reached the core miss
+// lifecycle — a stale singleflight result or a failed loader execution —
+// into the owning shard's Stats as an external miss, so the CSR and
+// hit-ratio denominators stay honest under invalidation churn (the
+// reference consulted the cache; pretending it never happened would
+// overstate savings).
+func (s *Sharded) accountExternal(sh *shard, req core.Request) {
+	sh.mu.Lock()
+	sh.cache.Account(req, false)
+	sh.mu.Unlock()
+}
+
 // Load looks the query up and, on a miss, executes it through the
 // configured Loader with singleflight coalescing: concurrent Load calls
 // for the same query ID run the loader once and share its result. The
@@ -281,7 +312,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		// Resident: charge a hit against the entry we just found — no
 		// second index probe inside the critical section.
 		size, cost, rels := e.Size, e.Cost, e.Relations
-		p := sh.cache.ReferenceEntry(e, req.Time)
+		p := sh.cache.ReferenceEntry(e, req.Time, req.Class)
 		sh.mu.Unlock()
 		sh.observe(s.tuner, id, sig, size, cost, req.Time, rels)
 		return p, true, nil
@@ -294,9 +325,15 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		sh.mu.Unlock()
 		f.wg.Wait()
 		if f.err != nil {
+			// The flight failed: the caller still referenced the cache, so
+			// charge an external miss (cost unknown — the query never ran
+			// to completion).
+			s.accountExternal(sh, core.Request{QueryID: id, Time: req.Time, Class: req.Class, Relations: req.Relations})
 			return nil, false, f.err
 		}
 		if f.stale {
+			s.accountExternal(sh, core.Request{QueryID: id, Time: req.Time, Class: req.Class,
+				Size: f.size, Cost: f.cost, Relations: req.Relations})
 			return f.payload, false, nil
 		}
 		sh.mu.Lock()
@@ -305,12 +342,14 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 			// leader's admission: the payload must not be re-admitted (and
 			// admitting it without a payload would turn later Load hits
 			// into nil results), so serve the caller without touching the
-			// cache.
+			// cache — but still charge the reference.
+			sh.cache.Account(core.Request{QueryID: id, Time: req.Time, Class: req.Class,
+				Size: f.size, Cost: f.cost, Relations: req.Relations}, false)
 			sh.mu.Unlock()
 			return f.payload, false, nil
 		}
 		refHit, p := sh.cache.ReferenceCanonical(core.Request{
-			QueryID: id, Time: req.Time, Size: f.size, Cost: f.cost,
+			QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
 			Relations: req.Relations, Payload: f.payload,
 		}, sig)
 		sh.mu.Unlock()
@@ -340,9 +379,18 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 	f.epoch = sh.epoch
 	if f.err == nil && !f.stale {
 		sh.cache.ReferenceCanonical(core.Request{
-			QueryID: id, Time: req.Time, Size: f.size, Cost: f.cost,
+			QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
 			Relations: req.Relations, Payload: f.payload,
 		}, sig)
+	} else {
+		// The leader's outcome never reaches the miss lifecycle (loader
+		// failure, or a coherence event made the result stale): charge the
+		// reference as an external miss while the lock is already held.
+		areq := core.Request{QueryID: id, Time: req.Time, Class: req.Class, Relations: req.Relations}
+		if f.err == nil {
+			areq.Size, areq.Cost = f.size, f.cost
+		}
+		sh.cache.Account(areq, false)
 	}
 	if len(sh.inflight) == 0 && len(sh.invalEpoch) > 0 {
 		// The invalidation epochs exist only to fence in-flight loads;
@@ -365,12 +413,21 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 // runLoader executes the loader outside all locks, converting a panic into
 // an error so a misbehaving loader cannot strand the flight's followers —
 // the inflight entry must always be removed and the WaitGroup completed.
+// With a registry attached, the execution is timed into the load-latency
+// histogram.
 func (s *Sharded) runLoader(f *flight, req core.Request) {
+	var start time.Time
+	if s.reg != nil {
+		start = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			f.err = fmt.Errorf("shard: loader panicked: %v", r)
 		}
 		s.loaderCalls.Add(1)
+		if s.reg != nil {
+			s.reg.ObserveLoad(time.Since(start).Seconds(), f.err != nil)
+		}
 	}()
 	f.payload, f.size, f.cost, f.err = s.loader(req)
 }

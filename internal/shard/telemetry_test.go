@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestLoadErrorChargedAsExternalMiss is the ROADMAP honesty fix: a Load
+// whose loader fails must still charge the reference into Stats (as an
+// external miss), or /stats CSR and hit ratio overstate savings.
+func TestLoadErrorChargedAsExternalMiss(t *testing.T) {
+	boom := errors.New("backend down")
+	reg := telemetry.NewRegistry()
+	s := newSharded(t, Config{
+		Shards:   2,
+		Cache:    core.Config{Capacity: 1 << 20, Policy: core.LNCRA, K: 2},
+		Loader:   func(core.Request) (any, int64, float64, error) { return nil, 0, 0, boom },
+		Registry: reg,
+	})
+	if _, _, err := s.Load(core.Request{QueryID: "q", Class: 1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	st := s.Stats()
+	if st.References != 1 || st.ExternalMisses != 1 || st.Hits != 0 {
+		t.Fatalf("failed load not charged: %+v", st.Stats)
+	}
+	snap := reg.Snapshot()
+	if snap.ExternalMisses != 1 || snap.LoaderErrors != 1 {
+		t.Fatalf("registry missed the outcome: %+v", snap)
+	}
+	if snap.LoadLatency.Count != 1 {
+		t.Fatalf("loader execution not timed: %+v", snap.LoadLatency)
+	}
+	if len(snap.Classes) != 2 || snap.Classes[1].ExternalMisses != 1 {
+		t.Fatalf("class accounting missed the external miss: %+v", snap.Classes)
+	}
+}
+
+// TestStaleFlightChargedAsExternalMiss verifies the other honesty path: a
+// flight fenced by an invalidation serves its callers without admission,
+// and every such serve must appear in Stats as an external miss with the
+// loader-reported cost in the CSR denominator.
+func TestStaleFlightChargedAsExternalMiss(t *testing.T) {
+	inLoader := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	reg := telemetry.NewRegistry()
+	s := newSharded(t, Config{
+		Shards: 2,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Loader: func(req core.Request) (any, int64, float64, error) {
+			if first.CompareAndSwap(true, false) {
+				close(inLoader)
+				<-release
+			}
+			return "pre-update rows", 64, 10, nil
+		},
+		Registry: reg,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Load(core.Request{QueryID: "q over lineitem", Relations: []string{"lineitem"}})
+	}()
+	<-inLoader
+	s.Invalidate("lineitem")
+	close(release)
+	<-done
+
+	st := s.Stats()
+	if st.References != 1 || st.ExternalMisses != 1 {
+		t.Fatalf("stale flight not charged: %+v", st.Stats)
+	}
+	if st.CostTotal != 10 {
+		t.Fatalf("stale flight cost must enter the CSR denominator: %+v", st.Stats)
+	}
+	if st.Hits != 0 || st.Admissions != 0 {
+		t.Fatalf("stale flight must not hit or admit: %+v", st.Stats)
+	}
+}
+
+// TestReferenceEventsReachRegistry wires a registry through the sharded
+// front and checks the per-shard fan-in: every reference outcome lands in
+// the registry and the per-shard counts sum to the total.
+func TestReferenceEventsReachRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newSharded(t, Config{
+		Shards:   4,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Registry: reg,
+	})
+	const n = 256
+	for i := 0; i < n; i++ {
+		s.Reference(core.Request{
+			QueryID:   fmt.Sprintf("query %d", i%32),
+			Class:     i % 3,
+			Size:      64,
+			Cost:      10,
+			Relations: []string{"lineitem"},
+		})
+	}
+	s.Invalidate("lineitem")
+
+	st := s.Stats()
+	snap := reg.Snapshot()
+	if snap.References() != st.References {
+		t.Fatalf("registry references %d, stats %d", snap.References(), st.References)
+	}
+	if snap.Hits != st.Hits || snap.MissesAdmitted != st.Admissions || snap.Invalidations != st.Invalidations {
+		t.Fatalf("registry drifted from stats:\nregistry %+v\nstats %+v", snap, st.Stats)
+	}
+	if snap.CostTotal != st.CostTotal || snap.CostSaved != st.CostSaved {
+		t.Fatalf("cost accounting drifted: registry %g/%g, stats %g/%g",
+			snap.CostSaved, snap.CostTotal, st.CostSaved, st.CostTotal)
+	}
+	var perShard int64
+	for _, nref := range snap.ShardReferences {
+		perShard += nref
+	}
+	if perShard != st.References {
+		t.Fatalf("per-shard counts sum to %d, want %d", perShard, st.References)
+	}
+	if len(snap.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(snap.Classes))
+	}
+}
+
+// TestLoadHitChargedToRequestClass pins hit attribution: a Load hit is
+// charged to the class of the referencing request, not the class that
+// admitted the entry — matching Reference, so per-class CSR stays
+// comparable across the two entry points.
+func TestLoadHitChargedToRequestClass(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newSharded(t, Config{
+		Shards:   2,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Loader:   func(core.Request) (any, int64, float64, error) { return "rows", 64, 10, nil },
+		Registry: reg,
+	})
+	if _, hit, err := s.Load(core.Request{QueryID: "q", Class: 0}); err != nil || hit {
+		t.Fatalf("admitting load: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := s.Load(core.Request{QueryID: "q", Class: 1}); err != nil || !hit {
+		t.Fatalf("hitting load: hit=%v err=%v", hit, err)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Classes) != 2 {
+		t.Fatalf("classes = %+v", snap.Classes)
+	}
+	if snap.Classes[1].Hits != 1 || snap.Classes[0].Hits != 0 {
+		t.Fatalf("hit charged to wrong class: %+v", snap.Classes)
+	}
+}
+
+// TestConcurrentLoadInvalidateWithRegistry hammers Load (with a loader
+// that sometimes fails) against concurrent Invalidate calls with a
+// registry attached — the -race CI job runs this — and asserts the
+// registry agrees with Stats afterwards: every reference ended in exactly
+// one lifecycle outcome even under fencing and failures.
+func TestConcurrentLoadInvalidateWithRegistry(t *testing.T) {
+	boom := errors.New("flaky backend")
+	reg := telemetry.NewRegistry()
+	s := newSharded(t, Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 256 << 10, K: 2, Policy: core.LNCRA},
+		Loader: func(req core.Request) (any, int64, float64, error) {
+			h := core.Signature(req.QueryID)
+			if h%7 == 0 {
+				return nil, 0, 0, boom
+			}
+			return "rows", int64(h%512) + 1, float64(h%100) + 1, nil
+		},
+		Registry: reg,
+	})
+
+	const workers = 8
+	const perWorker = 400
+	rels := []string{"lineitem", "orders", "part"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				if rng.Intn(50) == 0 {
+					s.Invalidate(rels[rng.Intn(len(rels))])
+					continue
+				}
+				q := fmt.Sprintf("query %d", rng.Intn(96))
+				_, _, err := s.Load(core.Request{
+					QueryID:   q,
+					Class:     rng.Intn(3),
+					Relations: []string{rels[core.Signature(q)%uint64(len(rels))]},
+				})
+				if err != nil && !errors.Is(err, boom) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	snap := reg.Snapshot()
+	if snap.References() != st.References {
+		t.Fatalf("registry references %d, stats %d", snap.References(), st.References)
+	}
+	if got := st.Hits + st.Admissions + st.Rejections + st.ExternalMisses; got != st.References {
+		t.Fatalf("references %d not partitioned by outcome (%d)", st.References, got)
+	}
+	if st.ExternalMisses == 0 {
+		t.Fatal("workload produced no external misses; loader failures were not charged")
+	}
+	if snap.LoadLatency.Count != st.LoaderCalls {
+		t.Fatalf("latency observations %d, loader calls %d", snap.LoadLatency.Count, st.LoaderCalls)
+	}
+}

@@ -53,6 +53,7 @@ func ReplayAdaptive(tr *trace.Trace, cfg core.Config, tcfg admission.Config) (Ad
 		c.ReferenceCanonical(core.Request{
 			QueryID:   id,
 			Time:      rec.Time,
+			Class:     rec.Class,
 			Size:      rec.Size,
 			Cost:      rec.Cost,
 			Relations: rec.Relations,

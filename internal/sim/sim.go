@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,7 @@ func Replay(tr *trace.Trace, cfg core.Config) (Result, *core.Cache, error) {
 		c.Reference(core.Request{
 			QueryID:   rec.QueryID,
 			Time:      rec.Time,
+			Class:     rec.Class,
 			Size:      rec.Size,
 			Cost:      rec.Cost,
 			Relations: rec.Relations,
@@ -54,6 +56,16 @@ func Replay(tr *trace.Trace, cfg core.Config) (Result, *core.Cache, error) {
 		CacheBytes: cfg.Capacity,
 		Stats:      c.Stats(),
 	}, c, nil
+}
+
+// ReplayWithRegistry replays the trace with a telemetry registry attached
+// as the cache's event sink (composed with any sink already configured),
+// so the caller can read per-class and per-relation cost-savings
+// breakdowns off the registry afterwards. `watchman compare` uses it to
+// print per-class CSR columns for multiclass traces.
+func ReplayWithRegistry(tr *trace.Trace, cfg core.Config, reg *telemetry.Registry) (Result, *core.Cache, error) {
+	cfg.Sink = core.MultiSink(cfg.Sink, reg)
+	return Replay(tr, cfg)
 }
 
 // Setup is a shorthand for the cache configurations the experiments sweep.

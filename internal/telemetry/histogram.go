@@ -1,0 +1,63 @@
+package telemetry
+
+import "sync/atomic"
+
+// latencyBuckets are the histogram's upper bounds in seconds, following
+// the conventional Prometheus 1-2.5-5 decade ladder from 100 µs to 10 s;
+// observations above the last bound land in the implicit +Inf bucket.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters. The
+// zero value is ready to use.
+type Histogram struct {
+	// counts[i] holds observations ≤ latencyBuckets[i]; the final slot is
+	// the +Inf bucket. Counts are per-bucket, not cumulative; cumulation
+	// happens at snapshot/exposition time.
+	counts [len(latencyBuckets) + 1]atomic.Int64
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+// Observe records one observation in seconds.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(latencyBuckets) && v > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds (excluding +Inf).
+	Bounds []float64 `json:"bounds"`
+	// Counts are the per-bucket observation counts; its last element is
+	// the +Inf bucket, so len(Counts) == len(Bounds)+1.
+	Counts []int64 `json:"counts"`
+	// Sum is the sum of all observations in seconds.
+	Sum float64 `json:"sum"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: latencyBuckets[:],
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promWriter accumulates exposition lines and the first write error, so
+// the renderer reads straight through without per-line error plumbing.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP/TYPE preamble for one metric family.
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// counter emits a single unlabeled sample after its preamble.
+func (p *promWriter) counter(name, help string, v any) {
+	p.header(name, help, "counter")
+	p.printf("%s %v\n", name, v)
+}
+
+// WritePrometheus renders every counter in the Prometheus text exposition
+// format (version 0.0.4): the aggregate lifecycle counters, the CSR
+// fraction's two sides, per-class and per-relation breakdowns as labeled
+// families, per-shard reference counts, and the load-latency histogram
+// with cumulative buckets. Gauges owned by the serving layer (residency,
+// occupancy) are appended by the caller; the registry only knows flows,
+// not levels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	p := &promWriter{w: w}
+
+	p.counter("watchman_references_total", "References observed (hits + admitted + rejected + external misses).", s.References())
+	p.counter("watchman_hits_total", "References satisfied from cache.", s.Hits)
+	p.counter("watchman_misses_admitted_total", "Misses whose retrieved set was cached.", s.MissesAdmitted)
+	p.counter("watchman_misses_rejected_total", "Misses denied admission.", s.MissesRejected)
+	p.counter("watchman_external_misses_total", "References resolved outside the miss lifecycle (stale singleflight results, loader failures).", s.ExternalMisses)
+	p.counter("watchman_evictions_total", "Resident sets evicted by replacement.", s.Evictions)
+	p.counter("watchman_invalidations_total", "Entries dropped by coherence events.", s.Invalidations)
+	p.counter("watchman_bytes_served_total", "Bytes served from cache on hits.", s.BytesServed)
+	p.counter("watchman_cost_total", "Execution cost charged over all references, in logical block reads.", formatFloat(s.CostTotal))
+	p.counter("watchman_cost_saved_total", "Execution cost saved on hits, in logical block reads.", formatFloat(s.CostSaved))
+	p.counter("watchman_loader_errors_total", "Failed loader executions.", s.LoaderErrors)
+
+	if len(s.Classes) > 0 {
+		p.header("watchman_class_references_total", "References per workload class.", "counter")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_references_total{class=\"%d\"} %d\n", c.Class, c.References)
+		}
+		p.header("watchman_class_hits_total", "Hits per workload class.", "counter")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_hits_total{class=\"%d\"} %d\n", c.Class, c.Hits)
+		}
+		p.header("watchman_class_cost_total", "Execution cost charged per workload class.", "counter")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_cost_total{class=\"%d\"} %s\n", c.Class, formatFloat(c.CostTotal))
+		}
+		p.header("watchman_class_cost_saved_total", "Execution cost saved per workload class.", "counter")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_cost_saved_total{class=\"%d\"} %s\n", c.Class, formatFloat(c.CostSaved))
+		}
+		p.header("watchman_class_csr", "Cost savings ratio per workload class (computed at scrape).", "gauge")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_csr{class=\"%d\"} %s\n", c.Class, formatFloat(c.CSR()))
+		}
+	}
+
+	if len(s.Relations) > 0 {
+		p.header("watchman_relation_cost_total", "Execution cost charged to references reading the relation.", "counter")
+		for _, rel := range s.Relations {
+			p.printf("watchman_relation_cost_total{relation=\"%s\"} %s\n", escapeLabel(rel.Relation), formatFloat(rel.CostTotal))
+		}
+		p.header("watchman_relation_cost_saved_total", "Execution cost saved on hits reading the relation.", "counter")
+		for _, rel := range s.Relations {
+			p.printf("watchman_relation_cost_saved_total{relation=\"%s\"} %s\n", escapeLabel(rel.Relation), formatFloat(rel.CostSaved))
+		}
+		p.header("watchman_relation_invalidations_total", "Entries dropped by coherence events against the relation.", "counter")
+		for _, rel := range s.Relations {
+			p.printf("watchman_relation_invalidations_total{relation=\"%s\"} %d\n", escapeLabel(rel.Relation), rel.Invalidations)
+		}
+	}
+
+	if len(s.ShardReferences) > 0 {
+		p.header("watchman_shard_references_total", "References served per shard.", "counter")
+		for i, n := range s.ShardReferences {
+			p.printf("watchman_shard_references_total{shard=\"%d\"} %d\n", i, n)
+		}
+	}
+
+	p.header("watchman_load_latency_seconds", "Loader execution latency.", "histogram")
+	cum := int64(0)
+	for i, bound := range s.LoadLatency.Bounds {
+		cum += s.LoadLatency.Counts[i]
+		p.printf("watchman_load_latency_seconds_bucket{le=\"%s\"} %d\n", formatFloat(bound), cum)
+	}
+	cum += s.LoadLatency.Counts[len(s.LoadLatency.Counts)-1]
+	p.printf("watchman_load_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p.printf("watchman_load_latency_seconds_sum %s\n", formatFloat(s.LoadLatency.Sum))
+	p.printf("watchman_load_latency_seconds_count %d\n", s.LoadLatency.Count)
+
+	return p.err
+}
+
+// formatFloat renders a float in the shortest round-trip form Prometheus
+// parsers accept.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelEscaper applies the Prometheus text-format label-value escaping
+// rules — exactly backslash, double-quote and newline (strconv.Quote's Go
+// rules would emit \t and \xNN sequences scrapers reject). Relation names
+// are arbitrary client strings, so this guards the whole exposition.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes one label value for the text exposition format.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

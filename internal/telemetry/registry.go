@@ -1,0 +1,453 @@
+// Package telemetry is the aggregation half of the telemetry spine: a
+// lock-cheap Registry consumes the typed lifecycle events every cache
+// shard emits (see core.EventSink) and maintains per-class and
+// per-relation cost-savings accounting, per-shard reference counts and a
+// load-latency histogram. Aggregate counters are derived at snapshot
+// time, so the hot path touches only one class cell per event.
+//
+// The hot path is allocation-free and contention-free by construction:
+// every shard sink owns a private contention domain of atomic cells
+// (events within a shard are already serialized by the shard mutex, so
+// its cache lines never bounce), float accumulation uses CAS on bit
+// patterns, the per-class table is an atomically published slice that
+// grows off the hot path, and per-relation cells live in a sync.Map
+// keyed by relation name. Snapshot merges the domains.
+//
+// A Registry serves two consumers: Snapshot returns a plain value for
+// JSON reporting and tests, and WritePrometheus renders the Prometheus
+// text exposition format for scraping (see internal/server's
+// GET /metrics).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// atomicFloat accumulates a float64 with compare-and-swap on its bit
+// pattern, so concurrent sinks can add without a mutex.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+// Add adds v to the accumulator.
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// refCell is one accumulation cell of the breakdown tables: the outcome
+// counts and the two sides of the paper's CSR fraction, scoped to one
+// class or one relation within one contention domain. Admitted misses are
+// derived (refs − hits − rejected − external), keeping the hot path to
+// the minimum number of atomic touches.
+type refCell struct {
+	refs, hits             atomic.Int64
+	missRejected           atomic.Int64
+	extMisses              atomic.Int64
+	evictions, invalidated atomic.Int64
+	bytes                  atomic.Int64
+	costTotal, costSaved   atomicFloat
+}
+
+// charge accrues one event into the cell.
+func (c *refCell) charge(kind core.EventKind, size int64, cost float64) {
+	switch kind {
+	case core.EventHit:
+		c.refs.Add(1)
+		c.hits.Add(1)
+		c.bytes.Add(size)
+		c.costTotal.Add(cost)
+		c.costSaved.Add(cost)
+	case core.EventMissAdmitted:
+		c.refs.Add(1)
+		c.costTotal.Add(cost)
+	case core.EventMissRejected:
+		c.refs.Add(1)
+		c.missRejected.Add(1)
+		c.costTotal.Add(cost)
+	case core.EventExternalMiss:
+		c.refs.Add(1)
+		c.extMisses.Add(1)
+		c.costTotal.Add(cost)
+	case core.EventEvict:
+		c.evictions.Add(1)
+	case core.EventInvalidate:
+		c.invalidated.Add(1)
+	}
+}
+
+// MaxTrackedClasses bounds the dense per-class table: class indices at or
+// above it collapse into the top cell (and negatives into cell 0), so an
+// absurd Request.Class cannot drive an unbounded allocation. Serving
+// layers should reject out-of-range classes at the boundary; the clamp
+// here is defense in depth for library callers.
+const MaxTrackedClasses = 1024
+
+// MaxTrackedRelations bounds the per-relation cells of one contention
+// domain: once a domain tracks this many distinct relation names, further
+// names collapse into the OverflowRelation cell, so an adversarial or
+// buggy workload with ever-changing relation strings cannot grow the
+// registry (or the /metrics exposition) without bound.
+const MaxTrackedRelations = 1024
+
+// OverflowRelation is the catch-all cell name that absorbs relations
+// beyond MaxTrackedRelations.
+const OverflowRelation = "_other"
+
+// domain is one contention domain of counters. Every shard sink owns one,
+// so counters written under different shard mutexes live on different
+// cache lines; the registry's root domain serves direct Emit callers
+// (single-threaded replays).
+type domain struct {
+	// classes is the atomically published per-class table; growth happens
+	// under classMu and republishes a longer slice, so readers never lock.
+	classes atomic.Pointer[[]*refCell]
+	classMu sync.Mutex
+	// relations maps relation name → *refCell; hot-path lookups hit the
+	// sync.Map read path (no lock, no allocation once the cell exists).
+	// relCount tracks its size for the cardinality cap (sync.Map has no
+	// cheap length); concurrent first sightings may overshoot the cap by
+	// at most the caller count, which keeps the bound intact in spirit.
+	relations sync.Map
+	relCount  atomic.Int64
+}
+
+// class returns the cell for a class index, growing the table off the hot
+// path on first sight of a new class. Indices clamp into
+// [0, MaxTrackedClasses).
+func (d *domain) class(i int) *refCell {
+	if i < 0 {
+		i = 0
+	} else if i >= MaxTrackedClasses {
+		i = MaxTrackedClasses - 1
+	}
+	if t := d.classes.Load(); t != nil && i < len(*t) {
+		return (*t)[i]
+	}
+	d.classMu.Lock()
+	defer d.classMu.Unlock()
+	var cur []*refCell
+	if t := d.classes.Load(); t != nil {
+		cur = *t
+		if i < len(cur) {
+			return cur[i]
+		}
+	}
+	grown := make([]*refCell, i+1)
+	copy(grown, cur)
+	for j := len(cur); j <= i; j++ {
+		grown[j] = &refCell{}
+	}
+	d.classes.Store(&grown)
+	return grown[i]
+}
+
+// relation returns the cell for a relation name, creating it on first use.
+// Past MaxTrackedRelations distinct names, the overflow cell is returned
+// instead.
+func (d *domain) relation(name string) *refCell {
+	if cell, ok := d.relations.Load(name); ok {
+		return cell.(*refCell)
+	}
+	if d.relCount.Load() >= MaxTrackedRelations && name != OverflowRelation {
+		return d.relation(OverflowRelation)
+	}
+	cell, loaded := d.relations.LoadOrStore(name, &refCell{})
+	if !loaded {
+		d.relCount.Add(1)
+	}
+	return cell.(*refCell)
+}
+
+// emit consumes one lifecycle event into the domain's cells.
+func (d *domain) emit(ev core.Event) {
+	d.class(ev.Class).charge(ev.Kind, ev.Size, ev.Cost)
+	// Only references and coherence drops carry per-relation meaning;
+	// evictions are a space decision, not a relation one.
+	if ev.Kind != core.EventEvict {
+		for _, rel := range ev.Relations {
+			d.relation(rel).charge(ev.Kind, ev.Size, ev.Cost)
+		}
+	}
+}
+
+// Registry aggregates lifecycle events from every shard of a cache. All
+// methods are safe for concurrent use; Emit is cheap enough for the hit
+// path (a handful of atomic adds on shard-local cache lines, no
+// allocation).
+type Registry struct {
+	// root consumes events emitted directly on the registry (replays and
+	// single-threaded caches use the registry itself as their sink).
+	root domain
+
+	// shards holds the per-shard domains, atomically published and grown
+	// under shardMu by ShardSink.
+	shards  atomic.Pointer[[]*domain]
+	shardMu sync.Mutex
+
+	loadLatency  Histogram
+	loaderErrors atomic.Int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Emit consumes one lifecycle event into the registry's root domain. It
+// implements core.EventSink; concurrent caches should prefer per-shard
+// sinks from ShardSink, which keep counter cache lines shard-local.
+func (r *Registry) Emit(ev core.Event) { r.root.emit(ev) }
+
+// shardSink forwards one shard's events into its private domain.
+type shardSink struct{ d *domain }
+
+// Emit consumes the event into the shard's domain.
+func (s shardSink) Emit(ev core.Event) { s.d.emit(ev) }
+
+// ShardSink returns a sink for one shard that fans its events into the
+// registry through a private contention domain, so per-shard balance
+// falls out of the merge and counters written under different shard
+// mutexes never share cache lines. Shard indices should be dense from
+// zero.
+func (r *Registry) ShardSink(shard int) core.EventSink {
+	if shard < 0 {
+		shard = 0
+	}
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	var cur []*domain
+	if t := r.shards.Load(); t != nil {
+		cur = *t
+	}
+	if shard >= len(cur) {
+		grown := make([]*domain, shard+1)
+		copy(grown, cur)
+		for j := len(cur); j <= shard; j++ {
+			grown[j] = &domain{}
+		}
+		r.shards.Store(&grown)
+		cur = grown
+	}
+	return shardSink{d: cur[shard]}
+}
+
+// ObserveLoad records one loader execution: its wall-clock latency in
+// seconds and whether it failed.
+func (r *Registry) ObserveLoad(seconds float64, failed bool) {
+	r.loadLatency.Observe(seconds)
+	if failed {
+		r.loaderErrors.Add(1)
+	}
+}
+
+// RefStats is the reference accounting of one class or relation in a
+// Snapshot.
+type RefStats struct {
+	// References is the number of references charged to the key.
+	References int64 `json:"references"`
+	// Hits is the number of those references served from cache.
+	Hits int64 `json:"hits"`
+	// MissesRejected is the number of misses denied admission.
+	MissesRejected int64 `json:"misses_rejected"`
+	// ExternalMisses is the number charged via Account(req, false).
+	ExternalMisses int64 `json:"external_misses"`
+	// Evictions counts replacement evictions of the key's entries.
+	Evictions int64 `json:"evictions"`
+	// Invalidations counts coherence drops of the key's entries.
+	Invalidations int64 `json:"invalidations"`
+	// BytesServed is Σ size over the key's hits.
+	BytesServed int64 `json:"bytes_served"`
+	// CostTotal is Σ cost over the key's references.
+	CostTotal float64 `json:"cost_total"`
+	// CostSaved is Σ cost over the key's hits.
+	CostSaved float64 `json:"cost_saved"`
+}
+
+// add accumulates one cell of one domain into the stats.
+func (s *RefStats) add(c *refCell) {
+	s.References += c.refs.Load()
+	s.Hits += c.hits.Load()
+	s.MissesRejected += c.missRejected.Load()
+	s.ExternalMisses += c.extMisses.Load()
+	s.Evictions += c.evictions.Load()
+	s.Invalidations += c.invalidated.Load()
+	s.BytesServed += c.bytes.Load()
+	s.CostTotal += c.costTotal.Load()
+	s.CostSaved += c.costSaved.Load()
+}
+
+// MissesAdmitted returns the number of misses whose set was cached: every
+// reference ends in exactly one outcome, so it is the remainder.
+func (s RefStats) MissesAdmitted() int64 {
+	return s.References - s.Hits - s.MissesRejected - s.ExternalMisses
+}
+
+// CSR returns the key's cost savings ratio.
+func (s RefStats) CSR() float64 {
+	if s.CostTotal == 0 {
+		return 0
+	}
+	return s.CostSaved / s.CostTotal
+}
+
+// HitRatio returns the key's hit ratio.
+func (s RefStats) HitRatio() float64 {
+	if s.References == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.References)
+}
+
+// ClassSnapshot is one workload class's accounting.
+type ClassSnapshot struct {
+	// Class is the workload class index.
+	Class int `json:"class"`
+	// RefStats is the class's reference accounting.
+	RefStats
+}
+
+// RelationSnapshot is one base relation's accounting: references to
+// queries reading the relation and coherence drops against it.
+type RelationSnapshot struct {
+	// Relation is the base relation name.
+	Relation string `json:"relation"`
+	// RefStats is the relation's reference accounting.
+	RefStats
+}
+
+// Snapshot is a point-in-time copy of every registry counter. Counters
+// are read individually (not under one lock), so a snapshot taken under
+// write load is internally consistent only up to in-flight events.
+type Snapshot struct {
+	// Hits, MissesAdmitted, MissesRejected and ExternalMisses partition
+	// References by lifecycle outcome.
+	Hits           int64 `json:"hits"`
+	MissesAdmitted int64 `json:"misses_admitted"`
+	MissesRejected int64 `json:"misses_rejected"`
+	ExternalMisses int64 `json:"external_misses"`
+	// Evictions and Invalidations count entry departures.
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	// BytesServed is Σ size over hits.
+	BytesServed int64 `json:"bytes_served"`
+	// CostTotal and CostSaved are the two sides of the paper's CSR.
+	CostTotal float64 `json:"cost_total"`
+	CostSaved float64 `json:"cost_saved"`
+	// LoaderErrors counts failed loader executions.
+	LoaderErrors int64 `json:"loader_errors"`
+	// LoadLatency is the loader execution latency histogram.
+	LoadLatency HistogramSnapshot `json:"load_latency"`
+	// Classes holds the per-class breakdown, ascending by class.
+	Classes []ClassSnapshot `json:"classes,omitempty"`
+	// Relations holds the per-relation breakdown, ascending by name.
+	Relations []RelationSnapshot `json:"relations,omitempty"`
+	// ShardReferences counts references served per shard (one element per
+	// shard sink handed out).
+	ShardReferences []int64 `json:"shard_references,omitempty"`
+}
+
+// References returns the total references observed: every reference ends
+// in exactly one of hit, admitted miss, rejected miss or external miss.
+func (s Snapshot) References() int64 {
+	return s.Hits + s.MissesAdmitted + s.MissesRejected + s.ExternalMisses
+}
+
+// CSR returns the aggregate cost savings ratio.
+func (s Snapshot) CSR() float64 {
+	if s.CostTotal == 0 {
+		return 0
+	}
+	return s.CostSaved / s.CostTotal
+}
+
+// HitRatio returns the aggregate hit ratio.
+func (s Snapshot) HitRatio() float64 {
+	if n := s.References(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Snapshot merges every contention domain into a point-in-time copy.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		LoaderErrors: r.loaderErrors.Load(),
+		LoadLatency:  r.loadLatency.Snapshot(),
+	}
+
+	domains := []*domain{&r.root}
+	if t := r.shards.Load(); t != nil {
+		for _, d := range *t {
+			domains = append(domains, d)
+			var refs int64
+			if ct := d.classes.Load(); ct != nil {
+				for _, cell := range *ct {
+					refs += cell.refs.Load()
+				}
+			}
+			s.ShardReferences = append(s.ShardReferences, refs)
+		}
+	}
+
+	// Merge the per-class tables into a dense ascending slice.
+	maxClass := -1
+	for _, d := range domains {
+		if ct := d.classes.Load(); ct != nil && len(*ct)-1 > maxClass {
+			maxClass = len(*ct) - 1
+		}
+	}
+	for c := 0; c <= maxClass; c++ {
+		cs := ClassSnapshot{Class: c}
+		for _, d := range domains {
+			if ct := d.classes.Load(); ct != nil && c < len(*ct) {
+				cs.add((*ct)[c])
+			}
+		}
+		s.Classes = append(s.Classes, cs)
+	}
+
+	// Merge the per-relation maps.
+	rels := map[string]*RelationSnapshot{}
+	for _, d := range domains {
+		d.relations.Range(func(k, v any) bool {
+			name := k.(string)
+			rs := rels[name]
+			if rs == nil {
+				rs = &RelationSnapshot{Relation: name}
+				rels[name] = rs
+			}
+			rs.add(v.(*refCell))
+			return true
+		})
+	}
+	for _, rs := range rels {
+		s.Relations = append(s.Relations, *rs)
+	}
+	sort.Slice(s.Relations, func(i, j int) bool { return s.Relations[i].Relation < s.Relations[j].Relation })
+
+	// Aggregates are the class-table sums (relations would double-count:
+	// one query may read several relations).
+	for _, c := range s.Classes {
+		s.Hits += c.Hits
+		s.MissesAdmitted += c.MissesAdmitted()
+		s.MissesRejected += c.MissesRejected
+		s.ExternalMisses += c.ExternalMisses
+		s.Evictions += c.Evictions
+		s.Invalidations += c.Invalidations
+		s.BytesServed += c.BytesServed
+		s.CostTotal += c.CostTotal
+		s.CostSaved += c.CostSaved
+	}
+	return s
+}

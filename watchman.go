@@ -78,6 +78,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Cache. See the field documentation in the aliased
@@ -202,6 +203,57 @@ type TuningRound = admission.Round
 // NewAdmissionTuner creates an adaptive admission tuner. The initial
 // published threshold is the static LNC-A setting θ = 1.
 func NewAdmissionTuner(cfg AdmissionConfig) (*AdmissionTuner, error) { return admission.New(cfg) }
+
+// Event is one typed lifecycle notification of the telemetry spine: every
+// reference ends in exactly one of hit, admitted miss, rejected miss or
+// external miss, and entry departures (evictions, invalidations) are
+// reported too. Install a sink via Config.Sink.
+type Event = core.Event
+
+// EventKind enumerates the lifecycle outcomes an EventSink observes.
+type EventKind = core.EventKind
+
+// The lifecycle outcomes. See the core documentation for exact semantics.
+const (
+	// EventHit is a reference satisfied from cache.
+	EventHit = core.EventHit
+	// EventMissAdmitted is a miss whose retrieved set was cached.
+	EventMissAdmitted = core.EventMissAdmitted
+	// EventMissRejected is a miss denied admission.
+	EventMissRejected = core.EventMissRejected
+	// EventEvict is a resident set evicted by replacement.
+	EventEvict = core.EventEvict
+	// EventInvalidate is an entry dropped by a coherence event.
+	EventInvalidate = core.EventInvalidate
+	// EventExternalMiss is a reference charged via Cache.Account(req, false).
+	EventExternalMiss = core.EventExternalMiss
+)
+
+// EventSink observes lifecycle events; see Config.Sink for the execution
+// contract (runs under the cache's context, must not call back in).
+type EventSink = core.EventSink
+
+// EventSinkFunc adapts a plain function to the EventSink interface.
+type EventSinkFunc = core.EventSinkFunc
+
+// MultiSink combines several sinks into one that forwards every event to
+// each, in argument order.
+func MultiSink(sinks ...EventSink) EventSink { return core.MultiSink(sinks...) }
+
+// TelemetryRegistry aggregates lifecycle events from every shard of a
+// cache into lock-cheap counters: hits/misses/evictions/invalidations/
+// external misses, per-class and per-relation cost-savings breakdowns, a
+// load-latency histogram and per-shard reference counts. Attach one via
+// ShardedConfig.Registry (or Config.Sink for a single-threaded Cache);
+// read it with Snapshot or WritePrometheus. The server exposes it at
+// GET /metrics in Prometheus text format.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a TelemetryRegistry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetryRegistry creates an empty telemetry registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // Item is one retrieved set in the §2.3 offline model.
 type Item = core.Item
