@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -35,12 +36,12 @@ type compareRow struct {
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (default: generate -benchmark in-process)")
-	benchmark := fs.String("benchmark", "tpcd", "workload when generating in-process: tpcd, setquery or multiclass")
+	benchmark := fs.String("benchmark", "tpcd", "workload when generating in-process: tpcd, setquery, multiclass or drilldown")
 	queries := fs.Int("queries", 17000, "queries when generating in-process")
 	seed := fs.Int64("seed", 1, "seed when generating in-process")
 	scale := fs.Float64("scale", 0, "database scale when generating in-process (0 = paper default)")
 	policies := fs.String("policies", defaultComparePolicies,
-		"comma-separated policies to compare (lnc-ra-adaptive selects the shadow-tuned admitter)")
+		"comma-separated policies to compare (lnc-ra-adaptive selects the shadow-tuned admitter; lnc-ra-derive enables semantic derivation and needs a trace with plan descriptors)")
 	k := fs.Int("k", 4, "reference-window size K")
 	cachePct := fs.Float64("cache-pct", 1, "cache size as % of database size")
 	cacheBytes := fs.Int64("cache-bytes", 0, "cache size in bytes (overrides -cache-pct)")
@@ -93,7 +94,7 @@ func cmdCompare(args []string) error {
 			cols = append(cols, fmt.Sprintf("class%d CSR", c))
 		}
 	}
-	cols = append(cols, "hit ratio", "admissions", "rejections", "evictions")
+	cols = append(cols, "hit ratio", "derived", "admissions", "rejections", "evictions")
 	t := metrics.NewTable(
 		fmt.Sprintf("policy comparison on %s, cache %s, K=%d", tr.Name, metrics.Bytes(capacity), *k),
 		cols...)
@@ -110,6 +111,7 @@ func cmdCompare(args []string) error {
 		}
 		cells = append(cells,
 			metrics.Ratio(r.stats.HitRatio()),
+			fmt.Sprint(r.stats.DerivedHits),
 			fmt.Sprint(r.stats.Admissions),
 			fmt.Sprint(r.stats.Rejections),
 			fmt.Sprint(r.stats.Evictions))
@@ -129,7 +131,8 @@ func cmdCompare(args []string) error {
 
 // compareOne replays the trace under one named policy with a telemetry
 // registry attached for the per-class breakdown. The name
-// "lnc-ra-adaptive" (or "adaptive") selects the shadow-tuned admitter;
+// "lnc-ra-adaptive" (or "adaptive") selects the shadow-tuned admitter and
+// "lnc-ra-derive" (or "derive") the semantic derivation subsystem;
 // everything else resolves through parsePolicy.
 func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (compareRow, error) {
 	reg := telemetry.NewRegistry()
@@ -142,6 +145,19 @@ func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (co
 			return compareRow{}, err
 		}
 		return compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes, adaptive: &res}, nil
+	case "lnc-ra-derive", "lncra-derive", "derive":
+		if !tr.HasPlans() {
+			return compareRow{}, fmt.Errorf(
+				"policy %s needs plan descriptors, but trace %q carries none: regenerate it with a descriptor-aware workload (e.g. 'watchman trace -benchmark drilldown') or replay a policy without derivation",
+				name, tr.Name)
+		}
+		res, _, _, err := sim.ReplayDerived(tr,
+			core.Config{Capacity: capacity, K: k, Policy: core.LNCRA, Sink: reg},
+			derive.Config{})
+		if err != nil {
+			return compareRow{}, err
+		}
+		return compareRow{label: res.Policy + "+derive", stats: res.Stats, classes: reg.Snapshot().Classes}, nil
 	default:
 		pk, err := parsePolicy(name)
 		if err != nil {

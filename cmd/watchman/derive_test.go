@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCmdCompareDrilldownDerive runs the derive-vs-exact comparison on
+// the drilldown workload and checks the derived column reports real
+// derivations for the derive row and zero for the exact row.
+func TestCmdCompareDrilldownDerive(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCompare([]string{
+			"-benchmark", "drilldown", "-queries", "2500", "-seed", "7",
+			"-policies", "lnc-ra,lnc-ra-derive", "-cache-pct", "1",
+		})
+	})
+	if !strings.Contains(out, "derived") {
+		t.Fatalf("compare output missing the derived column:\n%s", out)
+	}
+	if !strings.Contains(out, "LNC-RA+derive") {
+		t.Fatalf("compare output missing the derive row:\n%s", out)
+	}
+}
+
+// TestCmdCompareDeriveNeedsPlans pins the failure mode the issue calls
+// out: requesting derivation on a trace without plan descriptors must be
+// a clear error, not a silent zero row.
+func TestCmdCompareDeriveNeedsPlans(t *testing.T) {
+	// A hand-built v1 trace: no record carries a descriptor.
+	tr := &trace.Trace{Name: "planfree", DatabaseBytes: 1 << 20, Records: []trace.Record{
+		{Seq: 0, Time: 1, QueryID: "q1", Template: "t", Size: 100, Cost: 10},
+		{Seq: 1, Time: 2, QueryID: "q1", Template: "t", Size: 100, Cost: 10},
+	}}
+	path := filepath.Join(t.TempDir(), "planfree.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = cmdCompare([]string{"-i", path, "-policies", "lnc-ra-derive", "-cache-pct", "1"})
+	if err == nil {
+		t.Fatal("derive on a plan-free trace must error")
+	}
+	if !strings.Contains(err.Error(), "plan descriptors") {
+		t.Fatalf("error %q should explain the missing plan descriptors", err)
+	}
+}

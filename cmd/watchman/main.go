@@ -90,14 +90,17 @@ func generateTrace(benchmark string, queries int, seed int64, scale float64) (*t
 	case "multiclass":
 		_, tr, err := workload.GenerateMulticlass(scale, workload.MulticlassConfig{Config: cfg})
 		return tr, err
+	case "drilldown":
+		_, tr, err := workload.StandardDrilldown(scale, cfg)
+		return tr, err
 	default:
-		return nil, fmt.Errorf("unknown benchmark %q (want tpcd, setquery or multiclass)", benchmark)
+		return nil, fmt.Errorf("unknown benchmark %q (want tpcd, setquery, multiclass or drilldown)", benchmark)
 	}
 }
 
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	benchmark := fs.String("benchmark", "tpcd", "workload: tpcd, setquery or multiclass")
+	benchmark := fs.String("benchmark", "tpcd", "workload: tpcd, setquery, multiclass or drilldown")
 	queries := fs.Int("queries", 17000, "number of queries")
 	seed := fs.Int64("seed", 1, "random seed")
 	scale := fs.Float64("scale", 0, "database scale (0 = paper default)")

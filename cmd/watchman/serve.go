@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -86,6 +87,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "total cache capacity in bytes")
 	adaptive := fs.Bool("adaptive", false, "enable the shadow-tuned adaptive admitter (forces -policy lnc-ra)")
+	deriveOn := fs.Bool("derive", false, "enable semantic derivation: answer misses from cached sets whose plan descriptors subsume the request")
 	tuneWindow := fs.Int("tune-window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
 	telemetryOn := fs.Bool("telemetry", true, "attach the telemetry registry (GET /metrics, per-class /stats sections)")
 	sf := addShardedFlags(fs)
@@ -126,7 +128,14 @@ func cmdServe(args []string) error {
 	if *telemetryOn {
 		reg = telemetry.NewRegistry()
 	}
-	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg})
+	var deriver core.Deriver
+	if *deriveOn {
+		// Server-side derivation is descriptor-driven: clients report
+		// sizes and costs, so no engine is needed for estimation, and
+		// payload rewriting happens only for in-process engine results.
+		deriver = derive.New(derive.Config{})
+	}
+	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg, Deriver: deriver})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -147,6 +156,9 @@ func cmdServe(args []string) error {
 	policyDesc := cfg.Policy.String()
 	if tuner != nil {
 		policyDesc += " adaptive"
+	}
+	if deriver != nil {
+		policyDesc += " +derive"
 	}
 	if reg != nil {
 		policyDesc += ", telemetry on"
@@ -243,14 +255,18 @@ func cmdLoadgen(args []string) error {
 			return fmt.Errorf("loadgen: %w", err)
 		}
 		ref = func(rec *trace.Record) (bool, error) {
-			hit, _ := sc.Reference(shard.Request{
+			req := shard.Request{
 				QueryID:   rec.QueryID,
 				Time:      rec.Time,
 				Class:     rec.Class,
 				Size:      rec.Size,
 				Cost:      rec.Cost,
 				Relations: rec.Relations,
-			})
+			}
+			if rec.Plan != nil {
+				req.Plan = rec.Plan
+			}
+			hit, _ := sc.Reference(req)
 			return hit, nil
 		}
 	}
@@ -345,6 +361,7 @@ func postReference(client *http.Client, base string, rec *trace.Record) (bool, e
 		Size:      rec.Size,
 		Cost:      rec.Cost,
 		Relations: rec.Relations,
+		Plan:      rec.Plan,
 	})
 	if err != nil {
 		return false, err

@@ -41,6 +41,14 @@ type Config struct {
 	// the strict tier loop measurably inverts the paper's Figure 3 trend
 	// on these workloads (ablation A6 quantifies this; see DESIGN.md).
 	StrictTiers bool
+	// Deriver, if non-nil, is consulted on the miss path with requests
+	// that carry a plan descriptor (Request.Plan): when a cached ancestor
+	// subsumes the query and deriving beats remote execution, the
+	// reference ends in a HitDerived outcome instead of a miss, and the
+	// derived set runs admission at its residual cost. A Deriver that also
+	// implements EventSink is attached to the event stream so it can track
+	// cached content.
+	Deriver Deriver
 	// Admitter, if non-nil, replaces the policy's default admission
 	// behavior: it is consulted whenever admitting a missed set would
 	// require evictions (sets that fit in free space are always admitted,
@@ -76,9 +84,11 @@ const defaultPruneEvery = 64
 // the paper's three performance metrics (§4.1).
 type Stats struct {
 	References      int64   `json:"references"`       // total Reference calls
-	Hits            int64   `json:"hits"`             // references satisfied from cache
+	Hits            int64   `json:"hits"`             // references satisfied exactly from cache
+	DerivedHits     int64   `json:"derived_hits"`     // references answered by semantic derivation
 	CostTotal       float64 `json:"cost_total"`       // Σ cᵢ over all references
-	CostSaved       float64 `json:"cost_saved"`       // Σ cᵢ over hits
+	CostSaved       float64 `json:"cost_saved"`       // Σ cᵢ over hits + residual savings of derived hits
+	DeriveCost      float64 `json:"derive_cost"`      // Σ derivation cost spent on derived hits
 	BytesServed     int64   `json:"bytes_served"`     // Σ sᵢ over hits
 	Admissions      int64   `json:"admissions"`       // retrieved sets cached
 	Rejections      int64   `json:"rejections"`       // admissions denied by LNC-A
@@ -90,12 +100,13 @@ type Stats struct {
 	FragSum         float64 `json:"frag_sum"`         // Σ unused-fraction samples
 }
 
-// HitRatio returns hits divided by references (paper metric HR).
+// HitRatio returns hits (exact plus derived) divided by references (paper
+// metric HR; derived hits are served from cache content, so they count).
 func (s Stats) HitRatio() float64 {
 	if s.References == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.References)
+	return float64(s.Hits+s.DerivedHits) / float64(s.References)
 }
 
 // CostSavingsRatio returns the cost savings ratio (paper metric CSR):
@@ -113,8 +124,10 @@ func (s Stats) CostSavingsRatio() float64 {
 func (s *Stats) Add(o Stats) {
 	s.References += o.References
 	s.Hits += o.Hits
+	s.DerivedHits += o.DerivedHits
 	s.CostTotal += o.CostTotal
 	s.CostSaved += o.CostSaved
+	s.DeriveCost += o.DeriveCost
 	s.BytesServed += o.BytesServed
 	s.Admissions += o.Admissions
 	s.Rejections += o.Rejections
@@ -158,6 +171,10 @@ type Request struct {
 	Relations []string
 	// Payload optionally carries the materialized retrieved set.
 	Payload any
+	// Plan optionally carries the query's plan descriptor (opaque to the
+	// cache; the derivation subsystem reads it). It is stored on the
+	// admitted entry so cached content stays matchable.
+	Plan any
 }
 
 // Cache is the WATCHMAN cache manager.
@@ -166,6 +183,7 @@ type Cache struct {
 	index    map[uint64][]*Entry
 	ev       evictor
 	admitter Admitter // nil = no admission control (admit always)
+	deriver  Deriver  // nil = exact-match lookups only
 	sinks    []EventSink
 	retained map[*Entry]struct{}
 	rc       *rateContext
@@ -210,11 +228,17 @@ func New(cfg Config) (*Cache, error) {
 		// adapter; the cache itself only ever emits events.
 		sinks = append(sinks, callbackSink{cfg.OnAdmit, cfg.OnEvict, cfg.OnReject})
 	}
+	if ds, ok := cfg.Deriver.(EventSink); ok {
+		// The deriver tracks cached content off the same event stream
+		// every other accountant observes.
+		sinks = append(sinks, ds)
+	}
 	return &Cache{
 		cfg:      cfg,
 		index:    make(map[uint64][]*Entry),
 		ev:       newEvictor(cfg.Evictor, ranker{policy: cfg.Policy, strictTiers: cfg.StrictTiers}),
 		admitter: admitter,
+		deriver:  cfg.Deriver,
 		sinks:    sinks,
 		retained: make(map[*Entry]struct{}),
 		rc:       &rateContext{},
@@ -315,7 +339,7 @@ func (c *Cache) LookupCanonical(id string, sig uint64) (*Entry, bool) {
 // cost-savings accounting.
 func (c *Cache) Reference(req Request) (hit bool, payload any) {
 	id := CompressID(req.QueryID)
-	return c.reference(req, id, Signature(id))
+	return c.reference(req, id, Signature(id), true)
 }
 
 // ReferenceCanonical is Reference for callers that already hold the
@@ -324,7 +348,15 @@ func (c *Cache) Reference(req Request) (hit bool, payload any) {
 // would double the per-request work under the shard lock. req.QueryID must
 // be a CompressID result and sig its Signature.
 func (c *Cache) ReferenceCanonical(req Request, sig uint64) (hit bool, payload any) {
-	return c.reference(req, req.QueryID, sig)
+	return c.reference(req, req.QueryID, sig, true)
+}
+
+// ReferenceExecuted is ReferenceCanonical minus the derivation stage: the
+// caller has already executed the query remotely (the concurrent Load
+// path commits loader results through it), so answering the reference by
+// derivation would claim savings that were never realized.
+func (c *Cache) ReferenceExecuted(req Request, sig uint64) (hit bool, payload any) {
+	return c.reference(req, req.QueryID, sig, false)
 }
 
 // ReferenceEntry charges a hit against a resident entry previously
@@ -403,8 +435,9 @@ func (c *Cache) chargeHit(e *Entry, cost float64, class int, now float64) {
 
 // reference drives the lifecycle of one submission: the lookup stage finds
 // the entry, the account stage charges the reference (hit or miss), and on
-// a miss the admit and insert/evict stages run via miss.
-func (c *Cache) reference(req Request, id string, sig uint64) (hit bool, payload any) {
+// a miss the derivation stage may answer it from a cached ancestor before
+// the admit and insert/evict stages run via miss.
+func (c *Cache) reference(req Request, id string, sig uint64, allowDerive bool) (hit bool, payload any) {
 	now := c.tick(req.Time, req.Cost)
 
 	// Lookup stage.
@@ -416,9 +449,20 @@ func (c *Cache) reference(req Request, id string, sig uint64) (hit bool, payload
 		return true, e.Payload
 	}
 
+	// Derivation stage: before running the miss lifecycle, a configured
+	// deriver may answer the query from a cached ancestor. Only requests
+	// with a known remote cost and no materialized result in hand qualify
+	// — the comparison needs a basis, and a request that already carries
+	// its payload has nothing left to save.
+	if allowDerive && c.deriver != nil && req.Plan != nil && req.Payload == nil && req.Cost > 0 {
+		if d, ok := c.deriver.Derive(req); ok && d.Cost < req.Cost {
+			return true, c.deriveHit(e, id, sig, req, d, now)
+		}
+	}
+
 	// Miss path (Figure 1 of the paper).
 	c.missesSincePrune++
-	c.miss(e, id, sig, req, now)
+	c.miss(e, id, sig, req, now, false)
 	if c.missesSincePrune >= c.cfg.RetainedPruneEvery {
 		c.pruneRetained(now)
 		c.missesSincePrune = 0
@@ -454,21 +498,23 @@ func (c *Cache) enforceRetainedBudget(now float64) {
 // miss drives the miss half of the lifecycle, decomposed into the named
 // stages of the LNC-RA pseudo-code: the account stage records reference
 // information, the admit stage selects victims and rules on admission, and
-// the insert/evict stage commits the decision.
-func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64) {
+// the insert/evict stage commits the decision. derived marks the admission
+// of a derived set (reached via deriveHit, not a reference outcome of its
+// own); its events carry Event.Derived so accountants skip them.
+func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64, derived bool) {
 	needBytes := req.Size + c.cfg.MetadataOverhead
 	if needBytes > c.cfg.Capacity {
 		// The set can never fit; at most remember its reference.
-		c.noteRejected(e, id, sig, req, now)
+		c.noteRejected(e, id, sig, req, now, derived)
 		return
 	}
 
 	e, hadHistory := c.accountMiss(e, id, sig, req, now)
-	victims, admitted := c.admit(e, hadHistory, req, now)
+	victims, admitted := c.admit(e, hadHistory, req, now, derived)
 	if !admitted {
 		return
 	}
-	c.commit(e, victims, req, now)
+	c.commit(e, victims, req, now, derived)
 }
 
 // accountMiss is the account stage of the miss path: it updates (or
@@ -490,7 +536,7 @@ func (c *Cache) accountMiss(e *Entry, id string, sig uint64, req Request, now fl
 // list and the configured Admitter rules on the §2.2 profit comparison.
 // Denials are recorded (with the failed comparison on the event) and
 // return admitted = false.
-func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64) (victims []*Entry, admitted bool) {
+func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64, derived bool) (victims []*Entry, admitted bool) {
 	free := c.cfg.Capacity - c.usedPayload - c.metaBytes()
 	extraMeta := c.cfg.MetadataOverhead
 	if _, isRetained := c.retained[e]; isRetained {
@@ -503,7 +549,7 @@ func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64) (vict
 	victims = c.ev.candidates(req.Size+extraMeta-free, now)
 	if victims == nil {
 		// Cannot free enough space (pathological capacity); reject.
-		c.noteRejectedEntry(e, req, now, nil, 0, 0)
+		c.noteRejectedEntry(e, req, now, nil, 0, 0, derived)
 		return nil, false
 	}
 	if c.admitter != nil {
@@ -521,7 +567,7 @@ func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64) (vict
 			Profit:     incoming,
 			Bar:        bar,
 		}) {
-			c.noteRejectedEntry(e, req, now, victims, incoming, bar)
+			c.noteRejectedEntry(e, req, now, victims, incoming, bar, derived)
 			return nil, false
 		}
 	}
@@ -530,7 +576,7 @@ func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64) (vict
 
 // commit is the insert/evict stage: evict the victims, make the entry
 // resident and emit the MissAdmitted event.
-func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64) {
+func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64, derived bool) {
 	for _, v := range victims {
 		c.evict(v, now)
 	}
@@ -538,18 +584,18 @@ func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64) {
 	c.stats.Admissions++
 	if c.hasSinks() {
 		c.emit(Event{Kind: EventMissAdmitted, Time: now, Class: e.Class, ID: e.ID,
-			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e})
+			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e, Derived: derived})
 	}
 }
 
 // noteRejected handles rejections where the entry may not exist yet.
-func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now float64) {
+func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now float64, derived bool) {
 	if e == nil {
 		if !c.retainsInfo() {
 			c.stats.Rejections++
 			if c.hasSinks() {
 				c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: id,
-					Size: req.Size, Cost: req.Cost, Relations: req.Relations})
+					Size: req.Size, Cost: req.Cost, Relations: req.Relations, Derived: derived})
 			}
 			return
 		}
@@ -559,7 +605,7 @@ func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now f
 		c.retained[e] = struct{}{}
 	}
 	e.window.record(now)
-	c.noteRejectedEntry(e, req, now, nil, 0, 0)
+	c.noteRejectedEntry(e, req, now, nil, 0, 0, derived)
 }
 
 // noteRejectedEntry records a rejection for an entry whose reference window
@@ -570,12 +616,12 @@ func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now f
 // may be admitted after sufficient reference information is collected"),
 // unless the policy does not keep retained info, in which case an entry
 // not in any structure is dropped.
-func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64, victims []*Entry, profit, bar float64) {
+func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64, victims []*Entry, profit, bar float64, derived bool) {
 	c.stats.Rejections++
 	if c.hasSinks() {
 		c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: e.ID,
 			Size: req.Size, Cost: req.Cost, Relations: req.Relations, Entry: e,
-			Victims: victims, Profit: profit, Bar: bar})
+			Victims: victims, Profit: profit, Bar: bar, Derived: derived})
 	}
 	if _, ok := c.retained[e]; ok {
 		return
@@ -602,6 +648,7 @@ func (c *Cache) insert(e *Entry, req Request) {
 	e.Class = req.Class
 	e.Relations = req.Relations
 	e.Payload = req.Payload
+	e.Plan = req.Plan
 	e.resident = true
 	c.usedPayload += e.Size
 	c.resident++

@@ -27,6 +27,9 @@ type Entry struct {
 	// Payload is the cached retrieved set (opaque to the cache). It is nil
 	// for non-resident entries.
 	Payload any
+	// Plan is the query's plan descriptor (opaque to the cache); the
+	// derivation subsystem indexes cached entries by it.
+	Plan any
 
 	window   refWindow
 	resident bool

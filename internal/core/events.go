@@ -13,7 +13,9 @@ package core
 type EventKind uint8
 
 // The lifecycle outcomes. Every Reference call ends in exactly one of
-// Hit, MissAdmitted or MissRejected; every Account call ends in Hit or
+// Hit, HitDerived, MissAdmitted or MissRejected (where the admission
+// events of a derived set carry Derived=true and do not count as a
+// reference outcome of their own); every Account call ends in Hit or
 // ExternalMiss; Evict and Invalidate record entry departures (space
 // pressure and coherence, respectively) and are not references.
 const (
@@ -33,6 +35,11 @@ const (
 	// consulted the cache but its outcome was resolved outside the miss
 	// lifecycle (stale singleflight results, loader failures).
 	EventExternalMiss
+	// EventHitDerived is a reference answered by semantic derivation: the
+	// exact set was not cached, but a cached ancestor subsumed it and
+	// re-deriving cost less than remote execution. Cost carries the remote
+	// cost, DeriveCost the derivation cost; the saving is their difference.
+	EventHitDerived
 
 	numEventKinds // sentinel; keep last
 )
@@ -52,6 +59,8 @@ func (k EventKind) String() string {
 		return "invalidate"
 	case EventExternalMiss:
 		return "external_miss"
+	case EventHitDerived:
+		return "hit_derived"
 	default:
 		return "unknown"
 	}
@@ -91,6 +100,18 @@ type Event struct {
 	// Profit and Bar are the two sides of the failed admission comparison,
 	// meaningful only on MissRejected events with Victims set.
 	Profit, Bar float64
+	// DeriveCost is the derivation cost of a HitDerived event; the cost
+	// saved by the derivation is Cost − DeriveCost.
+	DeriveCost float64
+	// AncestorID names the cached entry a HitDerived answer was computed
+	// from.
+	AncestorID string
+	// Derived marks MissAdmitted/MissRejected events that record the
+	// admission decision for a derived retrieved set (inserted at residual
+	// cost after a HitDerived outcome) rather than a reference outcome.
+	// Reference accountants must skip them: the reference was already
+	// counted by the HitDerived event.
+	Derived bool
 }
 
 // EventSink observes lifecycle events. Implementations run under the

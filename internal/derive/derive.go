@@ -1,0 +1,237 @@
+// Package derive is the semantic derivation subsystem of the WATCHMAN
+// reproduction: it answers cache misses from cached retrieved sets that
+// are not exact matches but *subsume* the incoming query — a superset
+// scan answerable by re-filtering, or a finer aggregate answerable by
+// rolling up along the group-by hierarchy ("don't trash your intermediate
+// results, cache 'em").
+//
+// The Deriver keeps a per-relation index of the plan descriptors of
+// currently cached entries, maintained off the cache's event stream (it
+// implements core.EventSink; core.New attaches it automatically when it
+// is installed as Config.Deriver). On a miss it scans the candidates for
+// the cheapest subsuming ancestor and succeeds only when the estimator
+// says the derivation costs strictly less than remote execution. When the
+// ancestor's payload is a materialized engine result, the answer is
+// rewritten row-for-row (bit-identical to remote execution — the
+// equivalence corpus proves it); in bookkeeping replays without payloads
+// only the cost accounting is derived.
+//
+// Derive runs under the owning cache's execution context (single-
+// threaded, or with a shard mutex held) and takes only its own internal
+// lock, so shards may consult one shared Deriver concurrently.
+package derive
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Config parameterizes a Deriver.
+type Config struct {
+	// Engine, if non-nil, lets the deriver estimate remote costs for
+	// requests that do not carry them (the concurrent Load path) using
+	// the closed-form estimator. Rewriting cached results needs no
+	// engine: it is pure row algebra over the payload.
+	Engine *engine.Engine
+	// PageSize is the page size of the derivation cost model (a
+	// derivation costs the pages of the ancestor set it re-scans). Zero
+	// selects the experiments' default.
+	PageSize int
+}
+
+// Stats are the deriver's cumulative counters.
+type Stats struct {
+	// Attempts counts Derive calls that carried a usable descriptor.
+	Attempts int64 `json:"attempts"`
+	// Derived counts successful derivations.
+	Derived int64 `json:"derived"`
+	// Rewrites counts derivations that materialized rows (an ancestor
+	// payload was present), as opposed to bookkeeping-only outcomes.
+	Rewrites int64 `json:"rewrites"`
+}
+
+// candidate is one cached entry the deriver may rewrite against.
+type candidate struct {
+	id      string
+	desc    *engine.Descriptor
+	payload *engine.Result // nil in bookkeeping replays
+	size    int64
+}
+
+// Deriver implements core.Deriver and core.EventSink: a match-and-rewrite
+// engine over the descriptors of currently cached entries.
+type Deriver struct {
+	cfg Config
+
+	// mu guards byRel: Emit and DropRelations write, Derive only reads,
+	// so concurrent misses across shards scan the index in parallel.
+	mu    sync.RWMutex
+	byRel map[string]map[string]*candidate
+
+	attempts atomic.Int64
+	derived  atomic.Int64
+	rewrites atomic.Int64
+}
+
+// New creates an empty deriver.
+func New(cfg Config) *Deriver {
+	return &Deriver{cfg: cfg, byRel: make(map[string]map[string]*candidate)}
+}
+
+// Stats returns a snapshot of the deriver's counters.
+func (d *Deriver) Stats() Stats {
+	return Stats{
+		Attempts: d.attempts.Load(),
+		Derived:  d.derived.Load(),
+		Rewrites: d.rewrites.Load(),
+	}
+}
+
+// DropRelations removes every indexed candidate over the given base
+// relations. The sharded front calls it at the START of an invalidation
+// — before the per-shard sweep begins — so a reference racing the sweep
+// cannot derive from a candidate in a shard the sweep has not reached
+// yet and admit pre-update data into a shard it already has. (The
+// per-entry Invalidate events that follow are then no-ops here.)
+func (d *Deriver) DropRelations(relations ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range relations {
+		delete(d.byRel, r)
+	}
+}
+
+// Candidates returns the number of cached entries currently indexed.
+func (d *Deriver) Candidates() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, rel := range d.byRel {
+		n += len(rel)
+	}
+	return n
+}
+
+// Emit maintains the candidate index off the cache lifecycle stream:
+// admissions with a descriptor enter, evictions and invalidations leave.
+// It implements core.EventSink.
+func (d *Deriver) Emit(ev core.Event) {
+	switch ev.Kind {
+	case core.EventMissAdmitted:
+		if ev.Entry == nil {
+			return
+		}
+		desc, ok := ev.Entry.Plan.(*engine.Descriptor)
+		if !ok || desc == nil {
+			return
+		}
+		// The Entry pointer itself must not outlive Emit; copy the fields
+		// the index needs. The payload pointer is safe to keep: results
+		// are immutable once materialized, and coherence events drop the
+		// candidate before the underlying data could go stale.
+		c := &candidate{id: ev.ID, desc: desc, size: ev.Size}
+		if res, ok := ev.Entry.Payload.(*engine.Result); ok {
+			c.payload = res
+		}
+		d.mu.Lock()
+		rel := d.byRel[desc.Rel]
+		if rel == nil {
+			rel = make(map[string]*candidate)
+			d.byRel[desc.Rel] = rel
+		}
+		rel[ev.ID] = c
+		d.mu.Unlock()
+	case core.EventEvict, core.EventInvalidate:
+		if ev.Entry == nil {
+			return
+		}
+		desc, ok := ev.Entry.Plan.(*engine.Descriptor)
+		if !ok || desc == nil {
+			return
+		}
+		d.mu.Lock()
+		if rel := d.byRel[desc.Rel]; rel != nil {
+			delete(rel, ev.ID)
+			if len(rel) == 0 {
+				delete(d.byRel, desc.Rel)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Derive implements core.Deriver: it searches the indexed candidates for
+// the cheapest cached ancestor subsuming the request's plan and, when
+// derivation beats the remote cost, returns the derived outcome. The
+// remote-cost basis is req.Cost when positive; otherwise the engine's
+// estimate (requests from the concurrent Load path, whose size and cost
+// normally come from the loader). Candidate selection is deterministic:
+// least derivation cost, ties broken by ascending ancestor ID.
+func (d *Deriver) Derive(req core.Request) (core.Derivation, bool) {
+	desc, ok := req.Plan.(*engine.Descriptor)
+	if !ok || desc == nil {
+		return core.Derivation{}, false
+	}
+	d.attempts.Add(1)
+
+	remote := req.Cost
+	size := req.Size
+	if remote <= 0 {
+		if d.cfg.Engine == nil {
+			return core.Derivation{}, false
+		}
+		est, err := d.cfg.Engine.Estimate(desc.Plan())
+		if err != nil {
+			return core.Derivation{}, false
+		}
+		remote = math.Max(1, math.Round(est.Cost))
+		if size <= 0 {
+			size = int64(math.Round(est.Bytes))
+		}
+	}
+
+	m := engine.NewMatcher(desc)
+	d.mu.RLock()
+	var best *candidate
+	var bestCost float64
+	for _, c := range d.byRel[desc.Rel] {
+		if c.id == req.QueryID || !m.Subsumes(c.desc) {
+			continue
+		}
+		cost := engine.DeriveCost(c.size, d.cfg.PageSize)
+		if cost >= remote {
+			continue
+		}
+		if best == nil || cost < bestCost || (cost == bestCost && c.id < best.id) {
+			best, bestCost = c, cost
+		}
+	}
+	d.mu.RUnlock()
+	if best == nil {
+		return core.Derivation{}, false
+	}
+
+	out := core.Derivation{Cost: bestCost, Remote: remote, AncestorID: best.id, Size: size}
+	if best.payload != nil {
+		res, err := engine.Rewrite(best.desc, desc, best.payload)
+		if err != nil {
+			// Subsumes held, so this is a programming error; fail the
+			// derivation rather than serve a wrong answer.
+			return core.Derivation{}, false
+		}
+		out.Payload = res
+		out.Size = res.Bytes()
+		d.rewrites.Add(1)
+	}
+	if out.Size <= 0 {
+		// Without a payload, an estimate, or a request size there is
+		// nothing coherent to account; decline.
+		return core.Derivation{}, false
+	}
+	d.derived.Add(1)
+	return out, true
+}

@@ -75,10 +75,10 @@ const (
 // Pred is a predicate over one column of a scan's relation. All predicates
 // on a scan are conjunctive.
 type Pred struct {
-	Col string
-	Op  Op
-	Lo  int64
-	Hi  int64 // used by OpRange only
+	Col string `json:"col"`
+	Op  Op     `json:"op"`
+	Lo  int64  `json:"lo"`
+	Hi  int64  `json:"hi"` // used by OpRange only
 }
 
 // matches reports whether v satisfies the predicate.
@@ -233,11 +233,11 @@ func (k AggKind) String() string {
 
 // AggSpec is one aggregate output of an Aggregate node.
 type AggSpec struct {
-	Kind AggKind
+	Kind AggKind `json:"kind"`
 	// Col is the aggregated input column; ignored by AggCount.
-	Col string
+	Col string `json:"col,omitempty"`
 	// As is the output column name.
-	As string
+	As string `json:"as"`
 }
 
 // Aggregate groups its input by the GroupBy columns and computes the Aggs.

@@ -151,7 +151,7 @@ func TestStatsCSV(t *testing.T) {
 	if len(rows) != 1+3+1 { // header + classes 0..2 + total
 		t.Fatalf("rows = %d: %v", len(rows), rows)
 	}
-	wantHeader := []string{"class", "references", "hits", "external_misses", "cost_total", "cost_saved", "csr", "hit_ratio"}
+	wantHeader := []string{"class", "references", "hits", "derived_hits", "external_misses", "cost_total", "cost_saved", "csr", "hit_ratio"}
 	for i, h := range wantHeader {
 		if rows[0][i] != h {
 			t.Fatalf("header = %v, want %v", rows[0], wantHeader)

@@ -27,6 +27,7 @@ import (
 	"net/http"
 
 	"repro/internal/admission"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
@@ -52,9 +53,19 @@ type ReferenceRequest struct {
 	Cost      float64  `json:"cost"`
 	Relations []string `json:"relations,omitempty"`
 	Payload   any      `json:"payload,omitempty"`
+	// Plan is the query's plan descriptor. With derivation enabled
+	// (`watchman serve -derive`), a miss whose plan is subsumed by a
+	// cached set is answered as a derived hit instead of a miss.
+	Plan *engine.Descriptor `json:"plan,omitempty"`
 }
 
-// ReferenceResponse is the body of a successful POST /v1/reference.
+// ReferenceResponse is the body of a successful POST /v1/reference. Hit
+// reports the cache outcome; Payload carries the stored retrieved set
+// when one exists. Payload may be null on a hit — when the set was
+// admitted without a payload, or when the hit was answered by
+// bookkeeping-only semantic derivation — so clients that need the rows
+// themselves (rather than the advisory "you need not re-execute" signal)
+// must check Payload, not Hit.
 type ReferenceResponse struct {
 	Hit     bool `json:"hit"`
 	Payload any  `json:"payload,omitempty"`
@@ -189,7 +200,13 @@ func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 			telemetry.MaxTrackedClasses, req.Class)
 		return
 	}
-	hit, payload := s.cache.Reference(shard.Request{
+	if req.Plan != nil {
+		if err := req.Plan.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "bad plan: %v", err)
+			return
+		}
+	}
+	creq := shard.Request{
 		QueryID:   req.QueryID,
 		Time:      req.Time,
 		Class:     req.Class,
@@ -197,7 +214,12 @@ func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 		Cost:      req.Cost,
 		Relations: req.Relations,
 		Payload:   req.Payload,
-	})
+	}
+	if req.Plan != nil {
+		// Guarded: assigning a typed nil would read as "plan present".
+		creq.Plan = req.Plan
+	}
+	hit, payload := s.cache.Reference(creq)
 	writeJSON(w, http.StatusOK, ReferenceResponse{Hit: hit, Payload: payload})
 }
 
@@ -278,20 +300,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // consistent even under live traffic; without one, only the total row
 // (from the aggregated shard counters) is available.
 func (s *Server) statsCSVTable() *metrics.Table {
-	t := metrics.NewTable("", "class", "references", "hits", "external_misses",
+	t := metrics.NewTable("", "class", "references", "hits", "derived_hits", "external_misses",
 		"cost_total", "cost_saved", "csr", "hit_ratio")
 	if reg := s.cache.Registry(); reg != nil {
 		snap := reg.Snapshot()
 		for _, c := range snap.Classes {
-			t.AddRowValues(c.Class, c.References, c.Hits, c.ExternalMisses,
+			t.AddRowValues(c.Class, c.References, c.Hits, c.DerivedHits, c.ExternalMisses,
 				c.CostTotal, c.CostSaved, metrics.Ratio(c.CSR()), metrics.Ratio(c.HitRatio()))
 		}
-		t.AddRowValues("total", snap.References(), snap.Hits, snap.ExternalMisses,
+		t.AddRowValues("total", snap.References(), snap.Hits, snap.DerivedHits, snap.ExternalMisses,
 			snap.CostTotal, snap.CostSaved, metrics.Ratio(snap.CSR()), metrics.Ratio(snap.HitRatio()))
 		return t
 	}
 	st := s.cache.Stats()
-	t.AddRowValues("total", st.References, st.Hits, st.ExternalMisses,
+	t.AddRowValues("total", st.References, st.Hits, st.DerivedHits, st.ExternalMisses,
 		st.CostTotal, st.CostSaved, metrics.Ratio(st.CostSavingsRatio()), metrics.Ratio(st.HitRatio()))
 	return t
 }

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// deriveTestDB is a small one-relation database the loader can execute
+// against quickly.
+func deriveTestDB() *relation.Database {
+	db := &relation.Database{
+		Name:     "mini",
+		PageSize: 512,
+		Relations: map[string]*relation.Relation{
+			"fact": {
+				Name: "fact", Rows: 400, Seed: 0xdec0de,
+				Columns: []relation.Column{
+					{Name: "id", Kind: relation.KindSequential, Width: 8},
+					{Name: "day", Kind: relation.KindUniform, Cardinality: 50, Width: 4},
+					{Name: "amt", Kind: relation.KindUniform, Cardinality: 83, Width: 8},
+				},
+			},
+		},
+	}
+	if err := db.Validate(); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// planLoader executes the descriptor registered for a query ID through
+// the engine, counting executions per ID.
+type planLoader struct {
+	eng   *engine.Engine
+	mu    sync.Mutex
+	plans map[string]*engine.Descriptor
+	execs map[string]*atomic.Int64
+}
+
+func (l *planLoader) register(id string, d *engine.Descriptor) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.plans[core.CompressID(id)] = d
+	l.execs[core.CompressID(id)] = &atomic.Int64{}
+}
+
+func (l *planLoader) load(req core.Request) (any, int64, float64, error) {
+	l.mu.Lock()
+	d := l.plans[req.QueryID]
+	ctr := l.execs[req.QueryID]
+	l.mu.Unlock()
+	if d == nil {
+		return nil, 0, 0, fmt.Errorf("no plan registered for %q", req.QueryID)
+	}
+	ctr.Add(1)
+	var sink storage.CountingSink
+	res, err := l.eng.Execute(d.Plan(), &sink)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, res.Bytes(), float64(sink.N), nil
+}
+
+// TestLoadCoalescesOntoOneDerivation drives N concurrent Loads of the
+// same derivable query: the flight must coalesce onto a single derivation
+// with zero loader executions for the derived query, and every caller
+// must receive the rows remote execution would produce. Run under -race
+// by the concurrency CI job.
+func TestLoadCoalescesOntoOneDerivation(t *testing.T) {
+	db := deriveTestDB()
+	eng := engine.New(db)
+	dvr := derive.New(derive.Config{Engine: eng, PageSize: db.PageSize})
+	loader := &planLoader{eng: eng, plans: map[string]*engine.Descriptor{}, execs: map[string]*atomic.Int64{}}
+
+	s, err := New(Config{
+		Shards:  4,
+		Cache:   core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Loader:  loader.load,
+		Deriver: dvr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	anc := &engine.Descriptor{
+		Rel:   "fact",
+		Preds: []engine.Pred{{Col: "day", Op: engine.OpRange, Lo: 0, Hi: 40}},
+		Cols:  []string{"day", "amt"},
+	}
+	child := &engine.Descriptor{
+		Rel:   "fact",
+		Preds: []engine.Pred{{Col: "day", Op: engine.OpRange, Lo: 5, Hi: 20}},
+		Cols:  []string{"day", "amt"},
+	}
+	loader.register("anc", anc)
+	loader.register("child", child)
+
+	// Seed the ancestor through the loader.
+	if _, _, err := s.Load(core.Request{QueryID: "anc", Relations: []string{"fact"}, Plan: anc}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := func() *engine.Result {
+		var sink storage.CountingSink
+		res, err := eng.Execute(child.Plan(), &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	results := make([]*engine.Result, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload, _, err := s.Load(core.Request{QueryID: "child", Relations: []string{"fact"}, Plan: child})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			results[w], _ = payload.(*engine.Result)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w, res := range results {
+		if res == nil {
+			t.Fatalf("worker %d received %T payload", w, results[w])
+		}
+		if len(res.Rows) != len(want.Rows) {
+			t.Fatalf("worker %d: %d rows, want %d", w, len(res.Rows), len(want.Rows))
+		}
+		for i := range want.Rows {
+			for j := range want.Rows[i] {
+				if res.Rows[i][j] != want.Rows[i][j] {
+					t.Fatalf("worker %d row %d differs: %v vs %v", w, i, res.Rows[i], want.Rows[i])
+				}
+			}
+		}
+	}
+
+	if n := loader.execs[core.CompressID("child")].Load(); n != 0 {
+		t.Fatalf("loader executed the derivable query %d times, want 0", n)
+	}
+	st := s.Stats()
+	if st.Derivations != 1 {
+		t.Fatalf("Derivations = %d, want exactly 1 (singleflight coalescing)", st.Derivations)
+	}
+	if st.DerivedHits != 1 {
+		t.Fatalf("DerivedHits = %d, want 1 (followers hit the admitted derived set)", st.DerivedHits)
+	}
+	if st.LoaderCalls != 1 {
+		t.Fatalf("LoaderCalls = %d, want 1 (the ancestor seed only)", st.LoaderCalls)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDerivedStaleNotCached ensures an invalidation landing during a
+// derivation fences the result out of the cache, exactly as it does for
+// loader executions.
+func TestLoadDerivedStaleNotCached(t *testing.T) {
+	db := deriveTestDB()
+	eng := engine.New(db)
+	dvr := derive.New(derive.Config{Engine: eng, PageSize: db.PageSize})
+
+	gate := make(chan struct{})
+	released := make(chan struct{})
+	blockingLoader := func(req core.Request) (any, int64, float64, error) {
+		close(released)
+		<-gate
+		return "rows", 64, 100, nil
+	}
+	s, err := New(Config{
+		Shards:  1,
+		Cache:   core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Loader:  blockingLoader,
+		Deriver: dvr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The underivable first load blocks in the loader while we invalidate
+	// its relation; the result must not be cached.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, hit, err := s.Load(core.Request{QueryID: "q", Relations: []string{"fact"},
+			Plan: &engine.Descriptor{Rel: "fact", Cols: []string{"day"}}}); err != nil || hit {
+			t.Errorf("load: hit=%v err=%v", hit, err)
+		}
+	}()
+	<-released
+	s.Invalidate("fact")
+	close(gate)
+	<-done
+	if _, ok := s.Peek("q"); ok {
+		t.Fatal("stale result was cached")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,14 @@ type Config struct {
 	// Loader, if non-nil, enables the Load path with singleflight miss
 	// coalescing.
 	Loader Loader
+	// Deriver, if non-nil, enables semantic derivation: every shard's
+	// cache consults it on the Reference miss path, and Load tries a
+	// derivation inside the singleflight flight before running the Loader
+	// — concurrent misses on the same query coalesce onto one derivation
+	// exactly as they coalesce onto one loader execution. The same
+	// Deriver instance is shared by all shards (it synchronizes
+	// internally) and observes every shard's lifecycle events.
+	Deriver core.Deriver
 	// Registry, if non-nil, receives every cache lifecycle event: each
 	// shard's core cache gets a per-shard sink fanning into this one
 	// registry (composed with any Cache.Sink the caller configured), the
@@ -93,6 +101,10 @@ type Stats struct {
 	// Coalesced is the number of Load calls that were served by waiting on
 	// another caller's in-flight execution of the same query.
 	Coalesced int64 `json:"coalesced"`
+	// Derivations is the number of singleflight flights answered by
+	// semantic derivation instead of a loader execution. Followers that
+	// waited on such a flight are counted in Coalesced as usual.
+	Derivations int64 `json:"derivations"`
 }
 
 // flight is one in-progress loader execution that followers wait on.
@@ -106,6 +118,10 @@ type flight struct {
 	// the loader ran: the result may predate the update, so neither the
 	// leader nor any follower admits it.
 	stale bool
+	// derivation is non-nil when the leader answered the flight by
+	// semantic derivation instead of running the loader; size and cost
+	// then carry the derived-set size and the remote-cost basis.
+	derivation *core.Derivation
 	// epoch is the shard's invalidation epoch at the moment the leader
 	// admitted the result; followers re-check their relations against it
 	// under the lock so an invalidation landing after the admission cannot
@@ -170,15 +186,17 @@ func (sh *shard) staleSince(relations []string, epoch uint64) bool {
 // Sharded is a concurrent cache partitioned over multiple core.Cache
 // instances. All methods are safe for concurrent use.
 type Sharded struct {
-	shards []*shard
-	mask   uint64
-	loader Loader
-	now    func() float64
-	tuner  *admission.Tuner
-	reg    *telemetry.Registry
+	shards  []*shard
+	mask    uint64
+	loader  Loader
+	now     func() float64
+	tuner   *admission.Tuner
+	reg     *telemetry.Registry
+	deriver core.Deriver
 
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
+	derivations atomic.Int64
 }
 
 // New creates a sharded cache. The configuration must name a power-of-two
@@ -201,12 +219,13 @@ func New(cfg Config) (*Sharded, error) {
 			cfg.Cache.Capacity, n)
 	}
 	s := &Sharded{
-		shards: make([]*shard, n),
-		mask:   uint64(n - 1),
-		loader: cfg.Loader,
-		now:    cfg.Now,
-		tuner:  cfg.Tuner,
-		reg:    cfg.Registry,
+		shards:  make([]*shard, n),
+		mask:    uint64(n - 1),
+		loader:  cfg.Loader,
+		now:     cfg.Now,
+		tuner:   cfg.Tuner,
+		reg:     cfg.Registry,
+		deriver: cfg.Deriver,
 	}
 	if s.now == nil {
 		s.now = WallClock()
@@ -216,6 +235,12 @@ func New(cfg Config) (*Sharded, error) {
 		scfg.Capacity = per
 		if int64(i) < rem {
 			scfg.Capacity++
+		}
+		if s.deriver != nil {
+			// Every shard consults the shared deriver on its miss path;
+			// core.New also wires it into the shard's event stream so the
+			// candidate index sees all admissions and departures.
+			scfg.Deriver = s.deriver
 		}
 		if s.tuner != nil {
 			scfg.Admitter = s.tuner.Admitter()
@@ -275,6 +300,10 @@ func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
 // Tuner returns the adaptive admission tuner, or nil when the cache runs
 // a static admission policy.
 func (s *Sharded) Tuner() *admission.Tuner { return s.tuner }
+
+// Deriver returns the semantic deriver the cache consults on misses, or
+// nil when derivation is disabled.
+func (s *Sharded) Deriver() core.Deriver { return s.deriver }
 
 // Registry returns the telemetry registry the cache's lifecycle events
 // fan into, or nil when none was configured.
@@ -350,7 +379,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		}
 		refHit, p := sh.cache.ReferenceCanonical(core.Request{
 			QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
-			Relations: req.Relations, Payload: f.payload,
+			Relations: req.Relations, Payload: f.payload, Plan: req.Plan,
 		}, sig)
 		sh.mu.Unlock()
 		sh.observe(s.tuner, id, sig, f.size, f.cost, req.Time, req.Relations)
@@ -360,28 +389,53 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		return f.payload, false, nil
 	}
 
-	// Leader: publish the flight, run the query unlocked, then feed the
-	// result through the admission path.
+	// Leader: publish the flight, then — unlocked — try answering by
+	// derivation from cached content before paying for a loader
+	// execution. Either way, feed the result through the admission path.
+	// Followers waiting on the flight coalesce onto whichever happened.
 	f := &flight{}
 	f.wg.Add(1)
 	sh.inflight[id] = f
 	epoch := sh.epoch
 	sh.mu.Unlock()
 
-	s.runLoader(f, req)
+	if s.deriver != nil && req.Plan != nil {
+		// Load's contract is "returns the data", so only materialized
+		// derivations count here: a bookkeeping-only outcome (nil
+		// payload) would hand the caller nothing and admit a payload-less
+		// entry that turns every later Load hit into a nil result with
+		// the loader bypassed. Those fall through to the loader.
+		if d, ok := s.deriver.Derive(core.Request{QueryID: id, Class: req.Class,
+			Relations: req.Relations, Plan: req.Plan}); ok && d.Payload != nil {
+			f.payload, f.size, f.cost = d.Payload, d.Size, d.Remote
+			f.derivation = &d
+			s.derivations.Add(1)
+		}
+	}
+	if f.derivation == nil {
+		s.runLoader(f, req)
+	}
 
 	sh.mu.Lock()
 	delete(sh.inflight, id)
-	// An invalidation of this query's relations during the loader run
+	// An invalidation of this query's relations during the loader run (or
+	// the derivation — the ancestor's data may predate the update too)
 	// means the result may predate the base-relation update: hand it to
 	// the callers but do not cache it.
 	f.stale = sh.staleSince(req.Relations, epoch)
 	f.epoch = sh.epoch
 	if f.err == nil && !f.stale {
-		sh.cache.ReferenceCanonical(core.Request{
-			QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
-			Relations: req.Relations, Payload: f.payload,
-		}, sig)
+		if f.derivation != nil {
+			sh.cache.ReferenceDerived(core.Request{
+				QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
+				Relations: req.Relations, Plan: req.Plan,
+			}, sig, *f.derivation)
+		} else {
+			sh.cache.ReferenceExecuted(core.Request{
+				QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
+				Relations: req.Relations, Payload: f.payload, Plan: req.Plan,
+			}, sig)
+		}
 	} else {
 		// The leader's outcome never reaches the miss lifecycle (loader
 		// failure, or a coherence event made the result stale): charge the
@@ -407,7 +461,9 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		return nil, false, f.err
 	}
 	sh.observe(s.tuner, id, sig, f.size, f.cost, req.Time, req.Relations)
-	return f.payload, false, nil
+	// A derived answer was served from cache content; report it as a hit
+	// so callers know no remote execution happened.
+	return f.payload, f.derivation != nil && !f.stale, nil
 }
 
 // runLoader executes the loader outside all locks, converting a panic into
@@ -445,6 +501,13 @@ func (s *Sharded) Peek(queryID string) (payload any, ok bool) {
 // Invalidate drops every entry touching any of the given base relations
 // from every shard and returns the number of resident sets dropped.
 func (s *Sharded) Invalidate(relations ...string) int {
+	if dr, ok := s.deriver.(interface{ DropRelations(...string) }); ok {
+		// Purge the derivation index before the per-shard sweep: shards
+		// are locked sequentially, and a reference racing the sweep must
+		// not derive from a candidate in a shard the sweep has not
+		// reached yet and plant pre-update data into one it already has.
+		dr.DropRelations(relations...)
+	}
 	dropped := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -477,6 +540,7 @@ func (s *Sharded) Stats() Stats {
 	}
 	out.LoaderCalls = s.loaderCalls.Load()
 	out.Coalesced = s.coalesced.Load()
+	out.Derivations = s.derivations.Load()
 	return out
 }
 

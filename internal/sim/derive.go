@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/trace"
+)
+
+// ReplayDerived replays the trace with the semantic derivation subsystem
+// enabled: a Deriver is installed as the cache's derivation hook (and,
+// via core's auto-wiring, as an event sink, so it tracks cached content).
+// Replays carry no materialized payloads, so derivations are
+// bookkeeping-only — the cost accounting is exact (remote cost from the
+// trace record, derivation cost from the ancestor's size) while the row
+// rewrite itself is exercised by the equivalence tests. The deriver is
+// returned for inspection. Candidate selection is deterministic, so equal
+// traces give equal results.
+func ReplayDerived(tr *trace.Trace, cfg core.Config, dcfg derive.Config) (Result, *core.Cache, *derive.Deriver, error) {
+	d := derive.New(dcfg)
+	cfg.Deriver = d
+	res, c, err := Replay(tr, cfg)
+	return res, c, d, err
+}

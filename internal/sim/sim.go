@@ -41,14 +41,20 @@ func Replay(tr *trace.Trace, cfg core.Config) (Result, *core.Cache, error) {
 	}
 	for i := range tr.Records {
 		rec := &tr.Records[i]
-		c.Reference(core.Request{
+		req := core.Request{
 			QueryID:   rec.QueryID,
 			Time:      rec.Time,
 			Class:     rec.Class,
 			Size:      rec.Size,
 			Cost:      rec.Cost,
 			Relations: rec.Relations,
-		})
+		}
+		if rec.Plan != nil {
+			// Guarded: a typed nil in the any-valued field would read as
+			// "plan present" downstream.
+			req.Plan = rec.Plan
+		}
+		c.Reference(req)
 	}
 	return Result{
 		Policy:     cfg.Policy.String(),

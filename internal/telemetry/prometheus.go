@@ -43,8 +43,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	p := &promWriter{w: w}
 
-	p.counter("watchman_references_total", "References observed (hits + admitted + rejected + external misses).", s.References())
-	p.counter("watchman_hits_total", "References satisfied from cache.", s.Hits)
+	p.counter("watchman_references_total", "References observed (hits + derived hits + admitted + rejected + external misses).", s.References())
+	p.counter("watchman_hits_total", "References satisfied exactly from cache.", s.Hits)
+	p.counter("watchman_derived_hits_total", "References answered by semantic derivation from a cached ancestor.", s.DerivedHits)
+	p.counter("watchman_derive_cost_total", "Execution cost spent re-deriving answers, in logical block reads.", formatFloat(s.DeriveCost))
 	p.counter("watchman_misses_admitted_total", "Misses whose retrieved set was cached.", s.MissesAdmitted)
 	p.counter("watchman_misses_rejected_total", "Misses denied admission.", s.MissesRejected)
 	p.counter("watchman_external_misses_total", "References resolved outside the miss lifecycle (stale singleflight results, loader failures).", s.ExternalMisses)
@@ -63,6 +65,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		p.header("watchman_class_hits_total", "Hits per workload class.", "counter")
 		for _, c := range s.Classes {
 			p.printf("watchman_class_hits_total{class=\"%d\"} %d\n", c.Class, c.Hits)
+		}
+		p.header("watchman_class_derived_hits_total", "Derived hits per workload class.", "counter")
+		for _, c := range s.Classes {
+			p.printf("watchman_class_derived_hits_total{class=\"%d\"} %d\n", c.Class, c.DerivedHits)
 		}
 		p.header("watchman_class_cost_total", "Execution cost charged per workload class.", "counter")
 		for _, c := range s.Classes {

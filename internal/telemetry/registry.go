@@ -52,15 +52,19 @@ func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()
 // the minimum number of atomic touches.
 type refCell struct {
 	refs, hits             atomic.Int64
+	derivedHits            atomic.Int64
 	missRejected           atomic.Int64
 	extMisses              atomic.Int64
 	evictions, invalidated atomic.Int64
 	bytes                  atomic.Int64
 	costTotal, costSaved   atomicFloat
+	deriveCost             atomicFloat
 }
 
-// charge accrues one event into the cell.
-func (c *refCell) charge(kind core.EventKind, size int64, cost float64) {
+// charge accrues one event into the cell. deriveCost is meaningful only
+// for HitDerived events (the cost actually spent re-deriving; the saving
+// is cost − deriveCost).
+func (c *refCell) charge(kind core.EventKind, size int64, cost, deriveCost float64) {
 	switch kind {
 	case core.EventHit:
 		c.refs.Add(1)
@@ -68,6 +72,13 @@ func (c *refCell) charge(kind core.EventKind, size int64, cost float64) {
 		c.bytes.Add(size)
 		c.costTotal.Add(cost)
 		c.costSaved.Add(cost)
+	case core.EventHitDerived:
+		c.refs.Add(1)
+		c.derivedHits.Add(1)
+		c.bytes.Add(size)
+		c.costTotal.Add(cost)
+		c.costSaved.Add(cost - deriveCost)
+		c.deriveCost.Add(deriveCost)
 	case core.EventMissAdmitted:
 		c.refs.Add(1)
 		c.costTotal.Add(cost)
@@ -171,12 +182,18 @@ func (d *domain) relation(name string) *refCell {
 
 // emit consumes one lifecycle event into the domain's cells.
 func (d *domain) emit(ev core.Event) {
-	d.class(ev.Class).charge(ev.Kind, ev.Size, ev.Cost)
+	if ev.Derived && (ev.Kind == core.EventMissAdmitted || ev.Kind == core.EventMissRejected) {
+		// The admission decision for a derived set is bookkeeping, not a
+		// reference outcome: the reference was already counted by its
+		// HitDerived event. Counting both would double the denominator.
+		return
+	}
+	d.class(ev.Class).charge(ev.Kind, ev.Size, ev.Cost, ev.DeriveCost)
 	// Only references and coherence drops carry per-relation meaning;
 	// evictions are a space decision, not a relation one.
 	if ev.Kind != core.EventEvict {
 		for _, rel := range ev.Relations {
-			d.relation(rel).charge(ev.Kind, ev.Size, ev.Cost)
+			d.relation(rel).charge(ev.Kind, ev.Size, ev.Cost, ev.DeriveCost)
 		}
 	}
 }
@@ -256,8 +273,13 @@ func (r *Registry) ObserveLoad(seconds float64, failed bool) {
 type RefStats struct {
 	// References is the number of references charged to the key.
 	References int64 `json:"references"`
-	// Hits is the number of those references served from cache.
+	// Hits is the number of those references served exactly from cache.
 	Hits int64 `json:"hits"`
+	// DerivedHits is the number answered by semantic derivation from a
+	// cached ancestor (partial savings: cost minus derivation cost).
+	DerivedHits int64 `json:"derived_hits"`
+	// DeriveCost is Σ derivation cost spent on the key's derived hits.
+	DeriveCost float64 `json:"derive_cost"`
 	// MissesRejected is the number of misses denied admission.
 	MissesRejected int64 `json:"misses_rejected"`
 	// ExternalMisses is the number charged via Account(req, false).
@@ -278,6 +300,8 @@ type RefStats struct {
 func (s *RefStats) add(c *refCell) {
 	s.References += c.refs.Load()
 	s.Hits += c.hits.Load()
+	s.DerivedHits += c.derivedHits.Load()
+	s.DeriveCost += c.deriveCost.Load()
 	s.MissesRejected += c.missRejected.Load()
 	s.ExternalMisses += c.extMisses.Load()
 	s.Evictions += c.evictions.Load()
@@ -290,7 +314,7 @@ func (s *RefStats) add(c *refCell) {
 // MissesAdmitted returns the number of misses whose set was cached: every
 // reference ends in exactly one outcome, so it is the remainder.
 func (s RefStats) MissesAdmitted() int64 {
-	return s.References - s.Hits - s.MissesRejected - s.ExternalMisses
+	return s.References - s.Hits - s.DerivedHits - s.MissesRejected - s.ExternalMisses
 }
 
 // CSR returns the key's cost savings ratio.
@@ -301,12 +325,12 @@ func (s RefStats) CSR() float64 {
 	return s.CostSaved / s.CostTotal
 }
 
-// HitRatio returns the key's hit ratio.
+// HitRatio returns the key's hit ratio (exact plus derived hits).
 func (s RefStats) HitRatio() float64 {
 	if s.References == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.References)
+	return float64(s.Hits+s.DerivedHits) / float64(s.References)
 }
 
 // ClassSnapshot is one workload class's accounting.
@@ -330,9 +354,10 @@ type RelationSnapshot struct {
 // are read individually (not under one lock), so a snapshot taken under
 // write load is internally consistent only up to in-flight events.
 type Snapshot struct {
-	// Hits, MissesAdmitted, MissesRejected and ExternalMisses partition
-	// References by lifecycle outcome.
+	// Hits, DerivedHits, MissesAdmitted, MissesRejected and ExternalMisses
+	// partition References by lifecycle outcome.
 	Hits           int64 `json:"hits"`
+	DerivedHits    int64 `json:"derived_hits"`
 	MissesAdmitted int64 `json:"misses_admitted"`
 	MissesRejected int64 `json:"misses_rejected"`
 	ExternalMisses int64 `json:"external_misses"`
@@ -344,6 +369,8 @@ type Snapshot struct {
 	// CostTotal and CostSaved are the two sides of the paper's CSR.
 	CostTotal float64 `json:"cost_total"`
 	CostSaved float64 `json:"cost_saved"`
+	// DeriveCost is Σ derivation cost spent on derived hits.
+	DeriveCost float64 `json:"derive_cost"`
 	// LoaderErrors counts failed loader executions.
 	LoaderErrors int64 `json:"loader_errors"`
 	// LoadLatency is the loader execution latency histogram.
@@ -358,9 +385,10 @@ type Snapshot struct {
 }
 
 // References returns the total references observed: every reference ends
-// in exactly one of hit, admitted miss, rejected miss or external miss.
+// in exactly one of hit, derived hit, admitted miss, rejected miss or
+// external miss.
 func (s Snapshot) References() int64 {
-	return s.Hits + s.MissesAdmitted + s.MissesRejected + s.ExternalMisses
+	return s.Hits + s.DerivedHits + s.MissesAdmitted + s.MissesRejected + s.ExternalMisses
 }
 
 // CSR returns the aggregate cost savings ratio.
@@ -371,10 +399,10 @@ func (s Snapshot) CSR() float64 {
 	return s.CostSaved / s.CostTotal
 }
 
-// HitRatio returns the aggregate hit ratio.
+// HitRatio returns the aggregate hit ratio (exact plus derived hits).
 func (s Snapshot) HitRatio() float64 {
 	if n := s.References(); n > 0 {
-		return float64(s.Hits) / float64(n)
+		return float64(s.Hits+s.DerivedHits) / float64(n)
 	}
 	return 0
 }
@@ -440,6 +468,7 @@ func (r *Registry) Snapshot() Snapshot {
 	// one query may read several relations).
 	for _, c := range s.Classes {
 		s.Hits += c.Hits
+		s.DerivedHits += c.DerivedHits
 		s.MissesAdmitted += c.MissesAdmitted()
 		s.MissesRejected += c.MissesRejected
 		s.ExternalMisses += c.ExternalMisses
@@ -448,6 +477,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.BytesServed += c.BytesServed
 		s.CostTotal += c.CostTotal
 		s.CostSaved += c.CostSaved
+		s.DeriveCost += c.DeriveCost
 	}
 	return s
 }

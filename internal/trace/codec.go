@@ -4,19 +4,23 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/engine"
 )
 
 // Binary trace format
 //
-// The binary codec is a compact, self-describing encoding:
+// The binary codec is a compact, self-describing, versioned encoding:
 //
-//	magic    [8]byte  "WMTRACE1"
+//	magic    [7]byte  "WMTRACE"
+//	version  byte     '1' or '2'
 //	name     string   (uvarint length + bytes)
 //	dbBytes  varint
 //	count    uvarint
@@ -24,15 +28,29 @@ import (
 //
 // Each record encodes time as an IEEE-754 bits uvarint and strings as
 // uvarint-length-prefixed bytes. Relations are a uvarint count followed by
-// strings. Query IDs and template names repeat heavily across a trace, so
-// both sides maintain a dictionary: the writer emits an index for strings
-// already seen, the reader resolves indices back.
+// strings. Query IDs, template names and plan columns repeat heavily
+// across a trace, so both sides maintain a dictionary: the writer emits an
+// index for strings already seen, the reader resolves indices back.
+//
+// Version 2 appends an optional plan descriptor to every record (a
+// presence byte, then relation, index, predicates, projected columns,
+// group-by columns and aggregates). The writer emits version 1 — byte-
+// identical to the historical unversioned format — whenever no record
+// carries a plan, so plan-free traces remain readable by older tools, and
+// the reader accepts both versions.
 
-const binaryMagic = "WMTRACE1"
+const (
+	binaryMagicPrefix = "WMTRACE"
+	binaryVersion1    = '1'
+	binaryVersion2    = '2'
+)
 
 var (
 	// ErrBadMagic is returned when decoding data that is not a binary trace.
 	ErrBadMagic = errors.New("trace: bad magic; not a binary trace")
+	// ErrBadVersion is returned for binary traces of an unknown codec
+	// version (newer than this reader).
+	ErrBadVersion = errors.New("trace: unsupported binary codec version")
 	// ErrCorrupt is returned when the binary stream is structurally invalid.
 	ErrCorrupt = errors.New("trace: corrupt binary stream")
 )
@@ -72,10 +90,19 @@ func (d *dictWriter) str(s string) error {
 	return err
 }
 
-// WriteBinary encodes the trace to w in the binary format.
+// WriteBinary encodes the trace to w in the binary format: version 2 when
+// any record carries a plan descriptor, version 1 (the historical,
+// plan-free layout) otherwise.
 func WriteBinary(w io.Writer, t *Trace) error {
+	version := byte(binaryVersion1)
+	if t.HasPlans() {
+		version = binaryVersion2
+	}
 	d := &dictWriter{w: bufio.NewWriterSize(w, 1<<16), ids: make(map[string]uint64)}
-	if _, err := d.w.WriteString(binaryMagic); err != nil {
+	if _, err := d.w.WriteString(binaryMagicPrefix); err != nil {
+		return err
+	}
+	if err := d.w.WriteByte(version); err != nil {
 		return err
 	}
 	if err := d.uvarint(uint64(len(t.Name))); err != nil {
@@ -118,8 +145,74 @@ func WriteBinary(w io.Writer, t *Trace) error {
 				return err
 			}
 		}
+		if version == binaryVersion2 {
+			if err := d.plan(r.Plan); err != nil {
+				return err
+			}
+		}
 	}
 	return d.w.Flush()
+}
+
+// plan writes one optional plan descriptor: a presence byte followed by
+// the descriptor fields, all column names dictionary-compressed.
+func (d *dictWriter) plan(p *engine.Descriptor) error {
+	if p == nil {
+		return d.uvarint(0)
+	}
+	if err := d.uvarint(1); err != nil {
+		return err
+	}
+	if err := d.str(p.Rel); err != nil {
+		return err
+	}
+	if err := d.str(p.Index); err != nil {
+		return err
+	}
+	if err := d.uvarint(uint64(len(p.Preds))); err != nil {
+		return err
+	}
+	for i := range p.Preds {
+		pr := &p.Preds[i]
+		if err := d.str(pr.Col); err != nil {
+			return err
+		}
+		if err := d.uvarint(uint64(pr.Op)); err != nil {
+			return err
+		}
+		if err := d.varint(pr.Lo); err != nil {
+			return err
+		}
+		if err := d.varint(pr.Hi); err != nil {
+			return err
+		}
+	}
+	for _, cols := range [][]string{p.Cols, p.GroupBy} {
+		if err := d.uvarint(uint64(len(cols))); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if err := d.str(c); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.uvarint(uint64(len(p.Aggs))); err != nil {
+		return err
+	}
+	for i := range p.Aggs {
+		sp := &p.Aggs[i]
+		if err := d.uvarint(uint64(sp.Kind)); err != nil {
+			return err
+		}
+		if err := d.str(sp.Col); err != nil {
+			return err
+		}
+		if err := d.str(sp.As); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type dictReader struct {
@@ -171,15 +264,21 @@ func (d *dictReader) str() (string, error) {
 	return s, nil
 }
 
-// ReadBinary decodes a binary trace from r.
+// ReadBinary decodes a binary trace from r, accepting both codec
+// versions: v1 traces (the historical, plan-free layout) decode with nil
+// plans, v2 traces carry optional plan descriptors per record.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	d := &dictReader{r: bufio.NewReaderSize(r, 1<<16)}
-	magic := make([]byte, len(binaryMagic))
+	magic := make([]byte, len(binaryMagicPrefix)+1)
 	if _, err := io.ReadFull(d.r, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
-	if string(magic) != binaryMagic {
+	if string(magic[:len(binaryMagicPrefix)]) != binaryMagicPrefix {
 		return nil, ErrBadMagic
+	}
+	version := magic[len(binaryMagicPrefix)]
+	if version != binaryVersion1 && version != binaryVersion2 {
+		return nil, fmt.Errorf("%w: %q", ErrBadVersion, string(version))
 	}
 	nameLen, err := d.uvarint()
 	if err != nil {
@@ -246,15 +345,109 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 				}
 			}
 		}
+		if version == binaryVersion2 {
+			if rec.Plan, err = d.plan(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return t, nil
+}
+
+// plan reads one optional plan descriptor (presence byte then fields).
+func (d *dictReader) plan() (*engine.Descriptor, error) {
+	present, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	if present != 1 {
+		return nil, fmt.Errorf("%w: bad plan presence flag %d", ErrCorrupt, present)
+	}
+	p := &engine.Descriptor{}
+	if p.Rel, err = d.str(); err != nil {
+		return nil, err
+	}
+	if p.Index, err = d.str(); err != nil {
+		return nil, err
+	}
+	npred, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if npred > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable predicate count %d", ErrCorrupt, npred)
+	}
+	for j := uint64(0); j < npred; j++ {
+		var pr engine.Pred
+		if pr.Col, err = d.str(); err != nil {
+			return nil, err
+		}
+		op, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pr.Op = engine.Op(op)
+		if pr.Lo, err = d.varint(); err != nil {
+			return nil, err
+		}
+		if pr.Hi, err = d.varint(); err != nil {
+			return nil, err
+		}
+		p.Preds = append(p.Preds, pr)
+	}
+	for _, dst := range []*[]string{&p.Cols, &p.GroupBy} {
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("%w: unreasonable column count %d", ErrCorrupt, n)
+		}
+		for j := uint64(0); j < n; j++ {
+			c, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, c)
+		}
+	}
+	nagg, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nagg > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable aggregate count %d", ErrCorrupt, nagg)
+	}
+	for j := uint64(0); j < nagg; j++ {
+		var sp engine.AggSpec
+		kind, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sp.Kind = engine.AggKind(kind)
+		if sp.Col, err = d.str(); err != nil {
+			return nil, err
+		}
+		if sp.As, err = d.str(); err != nil {
+			return nil, err
+		}
+		p.Aggs = append(p.Aggs, sp)
+	}
+	return p, nil
 }
 
 // CSV trace format
 //
 // Header row: #name,<name>,<dbBytes>
-// Column row: seq,time,query_id,template,class,size,cost,relations
-// Relations are joined with ';' within the field.
+// Column row: seq,time,query_id,template,class,size,cost,relations[,plan]
+// Relations are joined with ';' within the field; plan is the JSON
+// encoding of the record's plan descriptor, empty when absent. Like the
+// binary codec, the writer emits the historical eight-column layout when
+// no record carries a plan (older readers keep working) and appends the
+// ninth column only for plan-carrying traces; the reader accepts both.
 
 // WriteCSV encodes the trace to w as CSV with a leading metadata row.
 func WriteCSV(w io.Writer, t *Trace) error {
@@ -262,10 +455,15 @@ func WriteCSV(w io.Writer, t *Trace) error {
 	if err := cw.Write([]string{"#name", t.Name, strconv.FormatInt(t.DatabaseBytes, 10)}); err != nil {
 		return err
 	}
-	if err := cw.Write([]string{"seq", "time", "query_id", "template", "class", "size", "cost", "relations"}); err != nil {
+	cols := []string{"seq", "time", "query_id", "template", "class", "size", "cost", "relations"}
+	withPlans := t.HasPlans()
+	if withPlans {
+		cols = append(cols, "plan")
+	}
+	if err := cw.Write(cols); err != nil {
 		return err
 	}
-	row := make([]string, 8)
+	row := make([]string, len(cols))
 	for i := range t.Records {
 		r := &t.Records[i]
 		row[0] = strconv.FormatInt(r.Seq, 10)
@@ -276,6 +474,16 @@ func WriteCSV(w io.Writer, t *Trace) error {
 		row[5] = strconv.FormatInt(r.Size, 10)
 		row[6] = strconv.FormatFloat(r.Cost, 'g', -1, 64)
 		row[7] = strings.Join(r.Relations, ";")
+		if withPlans {
+			row[8] = ""
+			if r.Plan != nil {
+				b, err := json.Marshal(r.Plan)
+				if err != nil {
+					return fmt.Errorf("trace: encoding plan of record %d: %w", r.Seq, err)
+				}
+				row[8] = string(b)
+			}
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -310,8 +518,8 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading CSV row: %w", err)
 		}
-		if len(row) != 8 {
-			return nil, fmt.Errorf("trace: CSV row has %d fields, want 8", len(row))
+		if len(row) != 8 && len(row) != 9 {
+			return nil, fmt.Errorf("trace: CSV row has %d fields, want 8 or 9", len(row))
 		}
 		var rec Record
 		if rec.Seq, err = strconv.ParseInt(row[0], 10, 64); err != nil {
@@ -333,6 +541,12 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		if row[7] != "" {
 			rec.Relations = strings.Split(row[7], ";")
+		}
+		if len(row) == 9 && row[8] != "" {
+			rec.Plan = &engine.Descriptor{}
+			if err := json.Unmarshal([]byte(row[8]), rec.Plan); err != nil {
+				return nil, fmt.Errorf("trace: bad plan %q: %w", row[8], err)
+			}
 		}
 		t.Records = append(t.Records, rec)
 	}

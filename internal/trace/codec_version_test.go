@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// samplePlan builds a representative plan descriptor.
+func samplePlan() *engine.Descriptor {
+	return &engine.Descriptor{
+		Rel: "lineitem",
+		Preds: []engine.Pred{
+			{Col: "l_shipdate", Op: engine.OpRange, Lo: 365, Hi: 729},
+			{Col: "l_shipmode", Op: engine.OpEQ, Lo: 3},
+		},
+		GroupBy: []string{"l_returnflag", "l_linestatus"},
+		Aggs: []engine.AggSpec{
+			{Kind: engine.AggCount, As: "n"},
+			{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"},
+		},
+		Index: "l_shipdate",
+	}
+}
+
+// planTrace is sampleTrace with descriptors on two records (one scan
+// shape, one aggregate shape) and none on the others.
+func planTrace() *Trace {
+	tr := sampleTrace()
+	tr.Records[0].Plan = samplePlan()
+	tr.Records[2].Plan = &engine.Descriptor{
+		Rel:   "orders",
+		Preds: []engine.Pred{{Col: "o_orderdate", Op: engine.OpRange, Lo: 0, Hi: 89}},
+		Cols:  []string{"o_orderkey", "o_totalprice"},
+	}
+	return tr
+}
+
+// plansEqual compares the plan fields record by record.
+func plansEqual(t *testing.T, a, b *Trace) {
+	t.Helper()
+	for i := range a.Records {
+		x, y := a.Records[i].Plan, b.Records[i].Plan
+		if (x == nil) != (y == nil) {
+			t.Fatalf("record %d: plan presence differs (%v vs %v)", i, x, y)
+		}
+		if x != nil && !reflect.DeepEqual(x, y) {
+			t.Fatalf("record %d: plan differs\n  wrote %+v\n  read  %+v", i, x, y)
+		}
+	}
+}
+
+// TestBinaryVersionByte pins the versioning rule: plan-free traces encode
+// as version 1 — byte-identical to the historical unversioned format —
+// and traces with descriptors as version 2.
+func TestBinaryVersionByte(t *testing.T) {
+	var v1, v2 bytes.Buffer
+	if err := WriteBinary(&v1, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&v2, planTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(v1.Bytes()[:8]); got != "WMTRACE1" {
+		t.Fatalf("plan-free magic = %q, want WMTRACE1", got)
+	}
+	if got := string(v2.Bytes()[:8]); got != "WMTRACE2" {
+		t.Fatalf("plan-carrying magic = %q, want WMTRACE2", got)
+	}
+}
+
+// TestBinaryRoundtripV1 round-trips a plan-free trace through the v1
+// layout (old traces must still decode).
+func TestBinaryRoundtripV1(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracesEqual(tr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.HasPlans() {
+		t.Fatal("v1 trace decoded with plans")
+	}
+}
+
+// TestBinaryRoundtripV2 round-trips a plan-carrying trace, descriptors
+// included.
+func TestBinaryRoundtripV2(t *testing.T) {
+	tr := planTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracesEqual(tr, got); err != nil {
+		t.Fatal(err)
+	}
+	plansEqual(t, tr, got)
+}
+
+// TestBinaryUnknownVersion rejects future codec versions distinctly from
+// bad magic.
+func TestBinaryUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[7] = '9'
+	_, err := ReadBinary(bytes.NewReader(raw))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("unsupported")) {
+		t.Fatalf("err = %v, want unsupported-version error", err)
+	}
+}
+
+// TestCSVRoundtripPlans round-trips descriptors through the CSV codec's
+// ninth column and accepts historical eight-column rows.
+func TestCSVRoundtripPlans(t *testing.T) {
+	tr := planTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracesEqual(tr, got); err != nil {
+		t.Fatal(err)
+	}
+	plansEqual(t, tr, got)
+
+	// Historical eight-column CSV still decodes (with nil plans).
+	legacy := "#name,old,1048576\n" +
+		"seq,time,query_id,template,class,size,cost,relations\n" +
+		"0,1,q1,t.a,0,100,10,r1;r2\n"
+	old, err := ReadCSV(bytes.NewReader([]byte(legacy)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != 1 || old.HasPlans() {
+		t.Fatalf("legacy CSV decoded to %d records, plans=%v", old.Len(), old.HasPlans())
+	}
+}

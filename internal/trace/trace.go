@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/engine"
 )
 
 // Record is a single query submission in a workload trace.
@@ -38,6 +40,11 @@ type Record struct {
 	Cost float64
 	// Relations lists the base relations the query reads, for coherence.
 	Relations []string
+	// Plan is the query's plan descriptor when the plan has a derivable
+	// shape, or nil. The semantic derivation subsystem matches cached
+	// retrieved sets against it; the v2 binary codec and the CSV codec's
+	// ninth column carry it, and v1 traces decode with nil plans.
+	Plan *engine.Descriptor
 }
 
 // Validate reports whether the record is internally consistent.
@@ -51,6 +58,11 @@ func (r *Record) Validate() error {
 		return fmt.Errorf("trace: record %d (%s): negative cost %g", r.Seq, r.QueryID, r.Cost)
 	case r.Time < 0:
 		return fmt.Errorf("trace: record %d (%s): negative time %g", r.Seq, r.QueryID, r.Time)
+	}
+	if r.Plan != nil {
+		if err := r.Plan.Validate(); err != nil {
+			return fmt.Errorf("trace: record %d (%s): %w", r.Seq, r.QueryID, err)
+		}
 	}
 	return nil
 }
@@ -69,6 +81,17 @@ type Trace struct {
 
 // Len returns the number of records in the trace.
 func (t *Trace) Len() int { return len(t.Records) }
+
+// HasPlans reports whether any record carries a plan descriptor — the
+// precondition for semantic derivation to have anything to match against.
+func (t *Trace) HasPlans() bool {
+	for i := range t.Records {
+		if t.Records[i].Plan != nil {
+			return true
+		}
+	}
+	return false
+}
 
 // Validate checks every record and the monotonicity of timestamps.
 func (t *Trace) Validate() error {

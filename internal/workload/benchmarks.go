@@ -117,6 +117,7 @@ func GenerateMulticlass(scale float64, cfg MulticlassConfig) (*relation.Database
 		size int64
 		cost float64
 		rels []string
+		plan *engine.Descriptor
 	}
 	seen := make(map[string]memo)
 
@@ -128,6 +129,9 @@ func GenerateMulticlass(scale float64, cfg MulticlassConfig) (*relation.Database
 				return memo{}, fmt.Errorf("workload: multiclass: template %s: %w", t.Name, err)
 			}
 			m = memo{size: clampSize(est), cost: math.Max(1, math.Round(est.Cost)), rels: engine.BaseRelations(q.Plan)}
+			if d, ok := engine.Describe(q.Plan); ok {
+				m.plan = d
+			}
 			seen[q.ID] = m
 		}
 		return m, nil
@@ -146,6 +150,7 @@ func GenerateMulticlass(scale float64, cfg MulticlassConfig) (*relation.Database
 			Size:      m.size,
 			Cost:      m.cost,
 			Relations: m.rels,
+			Plan:      m.plan,
 		})
 	}
 

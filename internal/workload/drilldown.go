@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/trace"
+)
+
+// This file defines the drilldown/rollup benchmark: an OLAP-cube query
+// stream over the TPC-D lineitem relation, purpose-built to exercise the
+// semantic derivation subsystem. The templates form two derivation
+// hierarchies:
+//
+//   - an aggregate hierarchy: per-year cubes grouped by (returnflag,
+//     linestatus, shipmode) with COUNT/SUM/MIN/MAX partials, whose
+//     roll-ups — coarser group-bys, residual slices on cube dimensions,
+//     scalar AVG summaries — are all answerable from a cached cube;
+//   - a detail hierarchy: narrow per-month column slices whose sub-window
+//     re-filters and sub-window aggregates are answerable from a cached
+//     slice.
+//
+// The cube templates repeat heavily (only 7 instances), so an exact-match
+// cache gets them resident quickly; the derived templates draw from much
+// larger instance spaces and rarely repeat, so an exact-only cache pays
+// remote cost for them while a derive-enabled cache answers them from the
+// cubes for the cost of re-scanning a few kilobytes. A one-shot ad-hoc
+// template (unbounded instance space, underivable residuals) keeps the
+// admission policy honest.
+
+// drilldown time units, in days of the TPC-D date domain.
+const (
+	ddYears      = 7
+	ddDaysPerYr  = 365
+	ddMonths     = 84
+	ddDaysPerMon = 30
+)
+
+// ddAggs is the partial-aggregate set every cube carries: enough to roll
+// up COUNT, SUM, MIN, MAX and AVG queries.
+func ddAggs() []engine.AggSpec {
+	return []engine.AggSpec{
+		{Kind: engine.AggCount, As: "n"},
+		{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"},
+		{Kind: engine.AggMin, Col: "l_extendedprice", As: "lo_price"},
+		{Kind: engine.AggMax, Col: "l_extendedprice", As: "hi_price"},
+		{Kind: engine.AggSum, Col: "l_quantity", As: "qty"},
+	}
+}
+
+// yearPred returns the shipdate predicate of year y.
+func yearPred(y int64) engine.Pred {
+	return engine.Pred{Col: "l_shipdate", Op: engine.OpRange, Lo: y * ddDaysPerYr, Hi: y*ddDaysPerYr + ddDaysPerYr - 1}
+}
+
+// DrilldownTemplates builds the drilldown/rollup template set over a TPC-D
+// database.
+func DrilldownTemplates(db *relation.Database) []*Template {
+	_ = db.MustRelation("lineitem") // fail fast on a non-TPC-D database
+
+	cube := func(y int64) *engine.Aggregate {
+		return &engine.Aggregate{
+			Input: &engine.Scan{
+				Rel:   "lineitem",
+				Preds: []engine.Pred{yearPred(y)},
+				Cols:  []string{"l_returnflag", "l_linestatus", "l_shipmode", "l_extendedprice", "l_quantity"},
+			},
+			GroupBy: []string{"l_returnflag", "l_linestatus", "l_shipmode"},
+			Aggs:    ddAggs(),
+		}
+	}
+
+	return []*Template{
+		{
+			// The fine cube: 7 instances, referenced constantly — the hot
+			// ancestors everything in the aggregate hierarchy derives from.
+			Name: "dd.cube", Weight: 3, Instances: ddYears,
+			Gen: func(r *rand.Rand) Query {
+				y := uniformInt(r, ddYears)
+				return Query{
+					ID:   fmt.Sprintf("select l_returnflag, l_linestatus, l_shipmode, count(*), sum(l_extendedprice), min(l_extendedprice), max(l_extendedprice), sum(l_quantity) from lineitem where l_shipdate between %d and %d group by l_returnflag, l_linestatus, l_shipmode", y*ddDaysPerYr, y*ddDaysPerYr+ddDaysPerYr-1),
+					Plan: cube(y),
+				}
+			},
+		},
+		{
+			// Roll-up with a residual slice on a cube dimension: group by
+			// (returnflag, linestatus) for one shipmode of one year.
+			Name: "dd.mode", Weight: 3, Instances: ddYears * 7,
+			Gen: func(r *rand.Rand) Query {
+				y := uniformInt(r, ddYears)
+				m := uniformInt(r, 7)
+				return Query{
+					ID: fmt.Sprintf("select l_returnflag, l_linestatus, count(*), sum(l_extendedprice) from lineitem where l_shipdate between %d and %d and l_shipmode = %d group by l_returnflag, l_linestatus", y*ddDaysPerYr, y*ddDaysPerYr+ddDaysPerYr-1, m),
+					Plan: &engine.Aggregate{
+						Input: &engine.Scan{
+							Rel:   "lineitem",
+							Preds: []engine.Pred{yearPred(y), {Col: "l_shipmode", Op: engine.OpEQ, Lo: m}},
+							Cols:  []string{"l_returnflag", "l_linestatus", "l_extendedprice"},
+						},
+						GroupBy: []string{"l_returnflag", "l_linestatus"},
+						Aggs: []engine.AggSpec{
+							{Kind: engine.AggCount, As: "n"},
+							{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"},
+						},
+					},
+				}
+			},
+		},
+		{
+			// Scalar roll-up: yearly average price and volume for one
+			// returnflag — AVG derives from the cube's SUM and COUNT.
+			Name: "dd.scalar", Weight: 2, Instances: ddYears * 3,
+			Gen: func(r *rand.Rand) Query {
+				y := uniformInt(r, ddYears)
+				f := uniformInt(r, 3)
+				return Query{
+					ID: fmt.Sprintf("select avg(l_extendedprice), count(*), sum(l_quantity) from lineitem where l_shipdate between %d and %d and l_returnflag = %d", y*ddDaysPerYr, y*ddDaysPerYr+ddDaysPerYr-1, f),
+					Plan: &engine.Aggregate{
+						Input: &engine.Scan{
+							Rel:   "lineitem",
+							Preds: []engine.Pred{yearPred(y), {Col: "l_returnflag", Op: engine.OpEQ, Lo: f}},
+							Cols:  []string{"l_extendedprice", "l_quantity"},
+						},
+						Aggs: []engine.AggSpec{
+							{Kind: engine.AggAvg, Col: "l_extendedprice", As: "avg_price"},
+							{Kind: engine.AggCount, As: "n"},
+							{Kind: engine.AggSum, Col: "l_quantity", As: "qty"},
+						},
+					},
+				}
+			},
+		},
+		{
+			// The detail slice: one month of three narrow columns, the
+			// ancestor of the detail hierarchy. 84 instances repeat enough
+			// to stay resident without crowding the cache.
+			Name: "dd.detail", Weight: 2, Instances: ddMonths,
+			Gen: func(r *rand.Rand) Query {
+				m := uniformInt(r, ddMonths)
+				lo := m * ddDaysPerMon
+				return Query{
+					ID: fmt.Sprintf("select l_shipdate, l_shipmode, l_extendedprice from lineitem where l_shipdate between %d and %d", lo, lo+ddDaysPerMon-1),
+					Plan: &engine.Scan{
+						Rel:   "lineitem",
+						Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: lo, Hi: lo + ddDaysPerMon - 1}},
+						Cols:  []string{"l_shipdate", "l_shipmode", "l_extendedprice"},
+					},
+				}
+			},
+		},
+		{
+			// Sub-window re-filter of a detail slice (rule R1): a shorter
+			// window inside one month, one shipmode.
+			Name: "dd.window", Weight: 2, Instances: ddMonths * 7 * 16,
+			Gen: func(r *rand.Rand) Query {
+				m := uniformInt(r, ddMonths)
+				width := 7 + uniformInt(r, 8) // 7..14 days
+				off := uniformInt(r, ddDaysPerMon-width+1)
+				lo := m*ddDaysPerMon + off
+				mode := uniformInt(r, 7)
+				return Query{
+					ID: fmt.Sprintf("select l_shipdate, l_extendedprice from lineitem where l_shipdate between %d and %d and l_shipmode = %d", lo, lo+width-1, mode),
+					Plan: &engine.Scan{
+						Rel: "lineitem",
+						Preds: []engine.Pred{
+							{Col: "l_shipdate", Op: engine.OpRange, Lo: lo, Hi: lo + width - 1},
+							{Col: "l_shipmode", Op: engine.OpEQ, Lo: mode},
+						},
+						Cols: []string{"l_shipdate", "l_extendedprice"},
+					},
+				}
+			},
+		},
+		{
+			// Sub-window aggregate over a detail slice (rule R3).
+			Name: "dd.windowsum", Weight: 2, Instances: ddMonths * 16,
+			Gen: func(r *rand.Rand) Query {
+				m := uniformInt(r, ddMonths)
+				width := 7 + uniformInt(r, 8)
+				off := uniformInt(r, ddDaysPerMon-width+1)
+				lo := m*ddDaysPerMon + off
+				return Query{
+					ID: fmt.Sprintf("select l_shipmode, sum(l_extendedprice), count(*) from lineitem where l_shipdate between %d and %d group by l_shipmode", lo, lo+width-1),
+					Plan: &engine.Aggregate{
+						Input: &engine.Scan{
+							Rel:   "lineitem",
+							Preds: []engine.Pred{{Col: "l_shipdate", Op: engine.OpRange, Lo: lo, Hi: lo + width - 1}},
+							Cols:  []string{"l_shipmode", "l_extendedprice"},
+						},
+						GroupBy: []string{"l_shipmode"},
+						Aggs: []engine.AggSpec{
+							{Kind: engine.AggSum, Col: "l_extendedprice", As: "revenue"},
+							{Kind: engine.AggCount, As: "n"},
+						},
+					},
+				}
+			},
+		},
+		{
+			// Ad-hoc one-shots: residuals on columns no ancestor retains,
+			// from an effectively unbounded instance space — underivable
+			// noise that keeps admission honest.
+			Name: "dd.adhoc", Weight: 1, Instances: 1e6,
+			Gen: func(r *rand.Rand) Query {
+				lo := uniformInt(r, 2557-3)
+				q := uniformInt(r, 50)
+				return Query{
+					ID: fmt.Sprintf("select l_orderkey, l_extendedprice from lineitem where l_shipdate between %d and %d and l_quantity = %d", lo, lo+2, q),
+					Plan: &engine.Scan{
+						Rel: "lineitem",
+						Preds: []engine.Pred{
+							{Col: "l_shipdate", Op: engine.OpRange, Lo: lo, Hi: lo + 2},
+							{Col: "l_quantity", Op: engine.OpEQ, Lo: q},
+						},
+						Cols: []string{"l_orderkey", "l_extendedprice"},
+					},
+				}
+			},
+		},
+	}
+}
+
+// StandardDrilldown builds the drilldown/rollup benchmark over the TPC-D
+// database at the given scale (0 selects TPCDScale) and generates its
+// trace; every record carries a plan descriptor.
+func StandardDrilldown(scale float64, cfg Config) (*relation.Database, *trace.Trace, error) {
+	if scale <= 0 {
+		scale = TPCDScale
+	}
+	db := relation.TPCD(scale, relation.DefaultPageSize)
+	tr, err := Generate(db, DrilldownTemplates(db), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: drilldown: %w", err)
+	}
+	tr.Name = "tpcd-drilldown"
+	return db, tr, nil
+}

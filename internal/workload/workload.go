@@ -87,6 +87,7 @@ func Generate(db *relation.Database, templates []*Template, cfg Config) (*trace.
 		size int64
 		cost float64
 		rels []string
+		plan *engine.Descriptor
 	}
 	seen := make(map[string]memo)
 
@@ -108,6 +109,11 @@ func Generate(db *relation.Database, templates []*Template, cfg Config) (*trace.
 				cost: math.Max(1, math.Round(est.Cost)),
 				rels: engine.BaseRelations(q.Plan),
 			}
+			// Derivable plan shapes travel as descriptors so the semantic
+			// derivation subsystem can match cached sets against them.
+			if d, ok := engine.Describe(q.Plan); ok {
+				m.plan = d
+			}
 			seen[q.ID] = m
 		}
 		tr.Records = append(tr.Records, trace.Record{
@@ -119,6 +125,7 @@ func Generate(db *relation.Database, templates []*Template, cfg Config) (*trace.
 			Size:      m.size,
 			Cost:      m.cost,
 			Relations: m.rels,
+			Plan:      m.plan,
 		})
 	}
 	return tr, nil

@@ -77,6 +77,8 @@ package watchman
 import (
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/engine"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -204,10 +206,66 @@ type TuningRound = admission.Round
 // published threshold is the static LNC-A setting θ = 1.
 func NewAdmissionTuner(cfg AdmissionConfig) (*AdmissionTuner, error) { return admission.New(cfg) }
 
+// Deriver decides whether a missed request can be answered from cached
+// content; install one via Config.Deriver (or ShardedConfig.Deriver for
+// the concurrent front). NewDeriver builds the standard implementation.
+type Deriver = core.Deriver
+
+// Derivation is the outcome of a successful Deriver.Derive call: the
+// derived payload, its size, the derivation cost, the remote-cost basis
+// and the cached ancestor it came from.
+type Derivation = core.Derivation
+
+// SemanticDeriver is the standard Deriver: it indexes the plan
+// descriptors of currently cached entries off the event stream, matches
+// misses against them with the engine's containment rules (predicate
+// subsumption, group-by roll-up, re-aggregation of detail rows) and
+// rewrites answers when derivation beats remote execution.
+type SemanticDeriver = derive.Deriver
+
+// DeriverConfig parameterizes a SemanticDeriver.
+type DeriverConfig = derive.Config
+
+// PlanDescriptor is the serializable plan summary derivation matches on:
+// one predicated, projected scan of a base relation, optionally grouped
+// and aggregated. Attach one to Request.Plan.
+type PlanDescriptor = engine.Descriptor
+
+// Pred is one conjunctive scan predicate of a PlanDescriptor.
+type Pred = engine.Pred
+
+// AggSpec is one aggregate output of a PlanDescriptor.
+type AggSpec = engine.AggSpec
+
+// Predicate comparison operators.
+const (
+	// OpEQ matches values equal to Pred.Lo.
+	OpEQ = engine.OpEQ
+	// OpRange matches values in the closed interval [Pred.Lo, Pred.Hi].
+	OpRange = engine.OpRange
+)
+
+// Aggregate functions.
+const (
+	// AggCount is COUNT(*).
+	AggCount = engine.AggCount
+	// AggSum is SUM(col).
+	AggSum = engine.AggSum
+	// AggAvg is AVG(col).
+	AggAvg = engine.AggAvg
+	// AggMin is MIN(col).
+	AggMin = engine.AggMin
+	// AggMax is MAX(col).
+	AggMax = engine.AggMax
+)
+
+// NewDeriver creates a semantic deriver.
+func NewDeriver(cfg DeriverConfig) *SemanticDeriver { return derive.New(cfg) }
+
 // Event is one typed lifecycle notification of the telemetry spine: every
-// reference ends in exactly one of hit, admitted miss, rejected miss or
-// external miss, and entry departures (evictions, invalidations) are
-// reported too. Install a sink via Config.Sink.
+// reference ends in exactly one of hit, derived hit, admitted miss,
+// rejected miss or external miss, and entry departures (evictions,
+// invalidations) are reported too. Install a sink via Config.Sink.
 type Event = core.Event
 
 // EventKind enumerates the lifecycle outcomes an EventSink observes.
@@ -227,6 +285,9 @@ const (
 	EventInvalidate = core.EventInvalidate
 	// EventExternalMiss is a reference charged via Cache.Account(req, false).
 	EventExternalMiss = core.EventExternalMiss
+	// EventHitDerived is a reference answered by semantic derivation from
+	// a cached ancestor.
+	EventHitDerived = core.EventHitDerived
 )
 
 // EventSink observes lifecycle events; see Config.Sink for the execution
