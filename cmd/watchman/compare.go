@@ -46,8 +46,25 @@ func cmdCompare(args []string) error {
 	cachePct := fs.Float64("cache-pct", 1, "cache size as % of database size")
 	cacheBytes := fs.Int64("cache-bytes", 0, "cache size in bytes (overrides -cache-pct)")
 	window := fs.Int("window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
+	restart := fs.Bool("restart", false, "run the warm-vs-cold restart experiment instead: replay half the trace, snapshot + restore through the persist codec, replay the rest, and compare second-half cost savings against the uninterrupted and cold-restart runs (always LNC-RA)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *restart {
+		// The restart experiment replays one fixed policy; reject rather
+		// than silently ignore flags that would not shape it (same
+		// strictness as serve's -tune-window / -snapshot-interval).
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policies", "window":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("compare: %s has no effect with -restart (the experiment always replays lnc-ra)",
+				strings.Join(ignored, ", "))
+		}
 	}
 	var tr *trace.Trace
 	var err error
@@ -65,6 +82,9 @@ func cmdCompare(args []string) error {
 	capacity := *cacheBytes
 	if capacity <= 0 {
 		capacity = sim.CacheBytesForFraction(tr, *cachePct)
+	}
+	if *restart {
+		return compareRestart(tr, capacity, *k)
 	}
 
 	var rows []compareRow
@@ -126,6 +146,37 @@ func cmdCompare(args []string) error {
 				r.adaptive.FinalThreshold, r.adaptive.Rounds, r.adaptive.Switches, *window)
 		}
 	}
+	return nil
+}
+
+// compareRestart runs the warm-vs-cold restart experiment and renders its
+// second-half accounting: the uninterrupted run is the upper bound, the
+// cold restart is what a restart costs without persistence, and the warm
+// row shows how much of the gap the snapshot round trip recovers.
+func compareRestart(tr *trace.Trace, capacity int64, k int) error {
+	res, err := sim.ReplayRestart(tr, core.Config{Capacity: capacity, K: k, Policy: core.LNCRA})
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("warm-vs-cold restart on %s (restart after %d of %d queries), cache %s, K=%d",
+			tr.Name, res.Split, tr.Len(), metrics.Bytes(capacity), k),
+		"run", "2nd-half cost savings", "2nd-half hit ratio", "Δ CSR vs uninterrupted")
+	base := res.Uninterrupted.CostSavingsRatio()
+	row := func(label string, st core.Stats) {
+		t.AddRow(label,
+			metrics.Ratio(st.CostSavingsRatio()),
+			metrics.Ratio(st.HitRatio()),
+			fmt.Sprintf("%+.4f", st.CostSavingsRatio()-base))
+	}
+	row("uninterrupted", res.Uninterrupted)
+	row("warm restart (snapshot+restore)", res.Warm)
+	row("cold restart", res.Cold)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nsnapshot: %d resident sets, %s encoded; restored %d resident\n",
+		res.SnapshotResident, metrics.Bytes(int64(res.SnapshotBytes)), res.RestoredResident)
 	return nil
 }
 

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCmdCompareRestart smokes the warm-vs-cold restart harness end to
+// end through the CLI.
+func TestCmdCompareRestart(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCompare([]string{
+			"-benchmark", "tpcd", "-queries", "2000", "-seed", "1",
+			"-cache-pct", "1", "-restart",
+		})
+	})
+	for _, want := range []string{
+		"warm-vs-cold restart",
+		"uninterrupted",
+		"warm restart (snapshot+restore)",
+		"cold restart",
+		"snapshot:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("restart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeSnapshotFlagValidation: -snapshot-interval is meaningless
+// without -snapshot-path and must be rejected, matching the CLI's
+// strictness elsewhere.
+func TestServeSnapshotFlagValidation(t *testing.T) {
+	err := cmdServe([]string{"-snapshot-interval", "5s", "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "snapshot-interval") {
+		t.Fatalf("err = %v, want snapshot-interval rejection", err)
+	}
+}

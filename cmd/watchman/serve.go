@@ -90,22 +90,30 @@ func cmdServe(args []string) error {
 	deriveOn := fs.Bool("derive", false, "enable semantic derivation: answer misses from cached sets whose plan descriptors subsume the request")
 	tuneWindow := fs.Int("tune-window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
 	telemetryOn := fs.Bool("telemetry", true, "attach the telemetry registry (GET /metrics, per-class /stats sections)")
+	snapshotPath := fs.String("snapshot-path", "", "snapshot file: restore cache state from it on boot (warm restart) and persist to it (POST /v1/snapshot, periodic with -snapshot-interval, final flush on graceful shutdown)")
+	snapshotInterval := fs.Duration("snapshot-interval", 0, "background snapshot period (0 = on-demand and shutdown only; needs -snapshot-path)")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*adaptive {
-		// Reject rather than silently ignore a tuner flag that has no
-		// effect without -adaptive (same strictness as loadgen's -addr).
+	if !*adaptive || *snapshotPath == "" {
+		// Reject rather than silently ignore flags that have no effect in
+		// this configuration (same strictness as loadgen's -addr).
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "tune-window" {
-				ignored = append(ignored, "-"+f.Name)
+			switch {
+			case f.Name == "tune-window" && !*adaptive:
+				ignored = append(ignored, "-"+f.Name+" (needs -adaptive)")
+			case f.Name == "snapshot-interval" && *snapshotPath == "":
+				ignored = append(ignored, "-"+f.Name+" (needs -snapshot-path)")
 			}
 		})
 		if len(ignored) > 0 {
-			return fmt.Errorf("serve: %s has no effect without -adaptive", strings.Join(ignored, ", "))
+			return fmt.Errorf("serve: %s", strings.Join(ignored, ", "))
 		}
+	}
+	if *snapshotInterval < 0 {
+		return fmt.Errorf("serve: negative -snapshot-interval %v", *snapshotInterval)
 	}
 	cfg, err := sf.coreConfig(*cacheBytes)
 	if err != nil {
@@ -139,9 +147,35 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	var snapshotter *shard.Snapshotter
+	hsrv := server.New(sc)
+	if *snapshotPath != "" {
+		// Warm restart: restore before the listener exists, so the first
+		// request already sees the recovered residency and θ.
+		rep, restored, err := sc.RestoreFile(*snapshotPath)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if restored {
+			msg := fmt.Sprintf("watchman: restored %d resident + %d retained sets from %s",
+				rep.Resident, rep.Retained, *snapshotPath)
+			if rep.ThetaRestored {
+				msg += fmt.Sprintf(" (admission θ=%g)", rep.Theta)
+			}
+			if rep.DemotedResident > 0 || rep.Dropped > 0 {
+				msg += fmt.Sprintf("; %d demoted, %d dropped (capacity/policy changed)",
+					rep.DemotedResident, rep.Dropped)
+			}
+			fmt.Fprintln(os.Stderr, msg)
+		} else {
+			fmt.Fprintf(os.Stderr, "watchman: no snapshot at %s, starting cold\n", *snapshotPath)
+		}
+		snapshotter = sc.NewSnapshotter(*snapshotPath, *snapshotInterval)
+		hsrv.SetSnapshotter(snapshotter)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(sc).Handler(),
+		Handler: hsrv.Handler(),
 		// Bound slow clients: without these, a stalled sender pins a
 		// goroutine and file descriptor forever (slowloris).
 		ReadHeaderTimeout: 10 * time.Second,
@@ -163,6 +197,9 @@ func cmdServe(args []string) error {
 	if reg != nil {
 		policyDesc += ", telemetry on"
 	}
+	if snapshotter != nil {
+		policyDesc += ", snapshots " + *snapshotPath
+	}
 	fmt.Fprintf(os.Stderr, "watchman: serving %s cache (%d shards, %s) on %s\n",
 		policyDesc, sc.NumShards(), metrics.Bytes(*cacheBytes), *addr)
 
@@ -174,7 +211,22 @@ func cmdServe(args []string) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	fmt.Fprintln(os.Stderr, "watchman: shutting down")
-	return srv.Shutdown(shutCtx)
+	err = srv.Shutdown(shutCtx)
+	if snapshotter != nil {
+		// Final flush after the listener drains: everything learned since
+		// the last periodic snapshot survives the SIGTERM.
+		info, serr := snapshotter.Close()
+		if serr != nil {
+			if err == nil {
+				err = fmt.Errorf("serve: final snapshot: %w", serr)
+			}
+			fmt.Fprintf(os.Stderr, "watchman: final snapshot failed: %v\n", serr)
+		} else {
+			fmt.Fprintf(os.Stderr, "watchman: final snapshot: %d resident sets, %s (%d bytes)\n",
+				info.Resident, info.Path, info.Bytes)
+		}
+	}
+	return err
 }
 
 // referencer replays one trace record and reports whether it hit.

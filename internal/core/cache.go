@@ -139,6 +139,27 @@ func (s *Stats) Add(o Stats) {
 	s.FragSum += o.FragSum
 }
 
+// Sub subtracts another Stats from s, field by field — the inverse of
+// Add. The restart experiments use it to isolate the counters accrued
+// over one segment of a replay (end minus checkpoint).
+func (s *Stats) Sub(o Stats) {
+	s.References -= o.References
+	s.Hits -= o.Hits
+	s.DerivedHits -= o.DerivedHits
+	s.CostTotal -= o.CostTotal
+	s.CostSaved -= o.CostSaved
+	s.DeriveCost -= o.DeriveCost
+	s.BytesServed -= o.BytesServed
+	s.Admissions -= o.Admissions
+	s.Rejections -= o.Rejections
+	s.Evictions -= o.Evictions
+	s.Invalidations -= o.Invalidations
+	s.ExternalMisses -= o.ExternalMisses
+	s.RetainedDropped -= o.RetainedDropped
+	s.FragSamples -= o.FragSamples
+	s.FragSum -= o.FragSum
+}
+
 // AvgFragmentation returns the average fraction of unused cache space
 // (paper's tertiary metric, §4.1).
 func (s Stats) AvgFragmentation() float64 {

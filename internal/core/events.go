@@ -40,6 +40,12 @@ const (
 	// re-deriving cost less than remote execution. Cost carries the remote
 	// cost, DeriveCost the derivation cost; the saving is their difference.
 	EventHitDerived
+	// EventRestore announces a resident entry re-admitted from a snapshot
+	// by Cache.RestoreState. It is not a reference outcome and carries no
+	// cost accounting (the restored Stats already include the entry's
+	// history); sinks that track cached content (the derivation index) use
+	// it to relearn residency.
+	EventRestore
 
 	numEventKinds // sentinel; keep last
 )
@@ -61,6 +67,8 @@ func (k EventKind) String() string {
 		return "external_miss"
 	case EventHitDerived:
 		return "hit_derived"
+	case EventRestore:
+		return "restore"
 	default:
 		return "unknown"
 	}

@@ -121,7 +121,9 @@ func (d *Deriver) Candidates() int {
 // It implements core.EventSink.
 func (d *Deriver) Emit(ev core.Event) {
 	switch ev.Kind {
-	case core.EventMissAdmitted:
+	case core.EventMissAdmitted, core.EventRestore:
+		// Restore events re-announce residency recovered from a snapshot;
+		// they index exactly like a fresh admission.
 		if ev.Entry == nil {
 			return
 		}

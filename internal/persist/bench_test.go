@@ -1,0 +1,104 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchState builds one well-populated cache state for the codec
+// benchmarks: ~2k resident sets with byte payloads plus retained records.
+func benchState(b *testing.B) *core.CacheState {
+	b.Helper()
+	c, err := core.New(core.Config{Capacity: 4 << 20, K: 4, Policy: core.LNCRA, MetadataOverhead: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 512)
+	rng.Read(payload)
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		now += rng.Float64()
+		c.Reference(core.Request{
+			QueryID:   fmt.Sprintf("select * from t where k = %d", rng.Intn(4000)),
+			Time:      now,
+			Size:      rng.Int63n(2048) + 1,
+			Cost:      float64(rng.Intn(5000)) + 1,
+			Relations: []string{fmt.Sprintf("rel%d", rng.Intn(8))},
+			Payload:   payload,
+		})
+	}
+	return c.ExportState()
+}
+
+// BenchmarkSnapshotWrite measures encode throughput of a populated
+// snapshot (reported via bytes/op of the encoded size in the log).
+func BenchmarkSnapshotWrite(b *testing.B) {
+	snap := &Snapshot{Shards: []*core.CacheState{benchState(b)}}
+	var size int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := &countingWriter{}
+		if err := Write(cw, snap); err != nil {
+			b.Fatal(err)
+		}
+		size = cw.n
+	}
+	b.SetBytes(size)
+}
+
+// BenchmarkSnapshotRead measures decode throughput.
+func BenchmarkSnapshotRead(b *testing.B) {
+	snap := &Snapshot{Shards: []*core.CacheState{benchState(b)}}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures the full restore path: decode plus
+// pouring the state into a fresh cache.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	snap := &Snapshot{Shards: []*core.CacheState{benchState(b)}}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.New(core.Config{Capacity: 4 << 20, K: 4, Policy: core.LNCRA, MetadataOverhead: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RestoreCache(c, nil, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// countingWriter discards while counting, so encode benchmarks do not
+// measure buffer growth.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+var _ io.Writer = (*countingWriter)(nil)

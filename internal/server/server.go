@@ -9,6 +9,7 @@
 //	GET  /v1/peek/{id}   non-mutating residency probe for a query ID
 //	POST /v1/invalidate  coherence hook: drop entries by base relation
 //	GET  /v1/admission   adaptive-admission threshold and tuning history
+//	POST /v1/snapshot    on-demand snapshot flush (persistence enabled)
 //	GET  /stats          aggregated counters and the paper's metrics
 //	                     (?format=csv for a per-class CSV breakdown)
 //	GET  /metrics        Prometheus text exposition of the telemetry spine
@@ -106,6 +107,25 @@ type StatsResponse struct {
 	// Relations is the per-relation breakdown (ascending by name), present
 	// only with a telemetry registry attached.
 	Relations []telemetry.RelationSnapshot `json:"relations,omitempty"`
+	// Snapshot reports persistence health when a snapshotter is attached:
+	// the last attempt's outcome, so a silently failing background loop
+	// (full disk, permissions) is visible from the stats endpoint.
+	Snapshot *SnapshotStatus `json:"snapshot,omitempty"`
+}
+
+// SnapshotStatus is the persistence-health section of /stats.
+type SnapshotStatus struct {
+	Path string `json:"path"`
+	// LastUnixMS, LastBytes and LastResident describe the last SUCCESSFUL
+	// write (all zero before one happens) — LastUnixMS is its completion
+	// wall time in Unix milliseconds, i.e. how stale the on-disk file is.
+	LastUnixMS   int64 `json:"last_unix_ms"`
+	LastBytes    int64 `json:"last_bytes"`
+	LastResident int   `json:"last_resident"`
+	// LastError carries the most recent attempt's failure, empty when it
+	// succeeded. A non-empty value alongside an aging LastUnixMS is the
+	// "background loop is failing" alarm.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // AdmissionResponse is the body of GET /v1/admission. When the cache runs
@@ -121,6 +141,17 @@ type AdmissionResponse struct {
 	Rounds    []admission.Round `json:"rounds,omitempty"`
 }
 
+// SnapshotResponse is the body of a successful POST /v1/snapshot.
+type SnapshotResponse struct {
+	// Path is the snapshot file written; Bytes its encoded size.
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+	// Resident is the number of resident sets captured.
+	Resident int `json:"resident"`
+	// ElapsedMS is the capture + write wall time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // errorBody is the JSON shape of every non-2xx response.
 type errorBody struct {
 	Error string `json:"error"`
@@ -129,6 +160,7 @@ type errorBody struct {
 // Server serves a sharded cache over HTTP.
 type Server struct {
 	cache *shard.Sharded
+	snap  *shard.Snapshotter // nil when persistence is not configured
 	mux   *http.ServeMux
 }
 
@@ -139,11 +171,17 @@ func New(cache *shard.Sharded) *Server {
 	s.mux.HandleFunc("GET /v1/peek/{id}", s.handlePeek)
 	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
+
+// SetSnapshotter enables POST /v1/snapshot, wiring it to the cache's
+// snapshotter. Call before serving; without one the endpoint reports
+// that persistence is not configured.
+func (s *Server) SetSnapshotter(sn *shard.Snapshotter) { s.snap = sn }
 
 // Handler returns the server's routing handler, ready for http.Serve or
 // an httptest.Server.
@@ -265,6 +303,25 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snap == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			"snapshot persistence is not configured (start the server with -snapshot-path)")
+		return
+	}
+	info, err := s.snap.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Path:      info.Path,
+		Bytes:     info.Bytes,
+		Resident:  info.Resident,
+		ElapsedMS: float64(info.Elapsed.Microseconds()) / 1000,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
@@ -290,6 +347,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
 		resp.Classes = snap.Classes
 		resp.Relations = snap.Relations
+	}
+	if s.snap != nil {
+		good, goodAt, lastErr := s.snap.Last()
+		status := &SnapshotStatus{
+			Path:         s.snap.Path(),
+			LastBytes:    good.Bytes,
+			LastResident: good.Resident,
+		}
+		if !goodAt.IsZero() {
+			status.LastUnixMS = goodAt.UnixMilli()
+		}
+		if lastErr != nil {
+			status.LastError = lastErr.Error()
+		}
+		resp.Snapshot = status
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

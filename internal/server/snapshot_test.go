@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// TestSnapshotEndpointUnconfigured: without a snapshotter the endpoint
+// must say so, not 404 (the route exists; persistence is off).
+func TestSnapshotEndpointUnconfigured(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSnapshotEndpoint drives the full loop the CI smoke job automates:
+// load the cache over HTTP, flush a snapshot, restore it into a second
+// server, and confirm /stats reports the survived residency.
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "server.wmsnap")
+
+	sc, err := shard.New(shard.Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sc)
+	sn := sc.NewSnapshotter(path, 0)
+	srv.SetSnapshotter(sn)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 200; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/reference", ReferenceRequest{
+			QueryID: fmt.Sprintf("q%d", i%50), Size: 100, Cost: 10, Payload: []any{float64(i % 50)},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+	var out SnapshotResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Path != path || out.Resident != sc.Resident() || out.Bytes <= 0 {
+		t.Fatalf("snapshot response %+v (cache resident %d)", out, sc.Resident())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache restores the file and serves the same
+	// residency, payloads included.
+	sc2, err := shard.New(shard.Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok, err := sc2.RestoreFile(path)
+	if err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	if rep.Resident != out.Resident {
+		t.Fatalf("restored %d, snapshot had %d", rep.Resident, out.Resident)
+	}
+	ts2 := httptest.NewServer(New(sc2))
+	t.Cleanup(ts2.Close)
+	var st StatsResponse
+	if code := getJSON(t, ts2.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Resident != out.Resident {
+		t.Fatalf("restarted server reports %d resident, want %d", st.Resident, out.Resident)
+	}
+	if st.Hits == 0 || st.References == 0 {
+		t.Fatal("restored Stats partition lost the pre-restart counters")
+	}
+
+	// A payload must have survived the round trip.
+	var peek PeekResponse
+	if code := getJSON(t, ts2.URL+"/v1/peek/q1", &peek); code != http.StatusOK {
+		t.Fatalf("peek after restore: %d", code)
+	}
+	if !peek.Resident || peek.Payload == nil {
+		t.Fatalf("peek after restore = %+v, want resident with payload", peek)
+	}
+}

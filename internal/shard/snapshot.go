@@ -1,0 +1,281 @@
+package shard
+
+// Snapshot persistence for the concurrent layer. Export is copy-on-read:
+// each shard's state is deep-copied under that shard's mutex only (one
+// shard at a time — traffic on the other shards keeps flowing), and the
+// expensive serialization runs outside every lock. Restore is the
+// inverse and must happen before serving begins: each shard's core cache
+// enforces that it has served nothing yet.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// ExportState captures every shard's state plus the adaptive tuner's (if
+// any) as a persist.Snapshot. Shards are locked one at a time, so the
+// capture is per-shard consistent, not globally consistent — references
+// that land mid-export appear in some shards and not others, the same
+// tolerance Stats() already has.
+func (s *Sharded) ExportState() *persist.Snapshot {
+	snap := &persist.Snapshot{Shards: make([]*core.CacheState, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		snap.Shards[i] = sh.cache.ExportState()
+		sh.mu.Unlock()
+		if c := snap.Shards[i].Clock; c > snap.Clock {
+			snap.Clock = c
+		}
+	}
+	if s.tuner != nil {
+		snap.Admission = s.tuner.ExportState()
+	}
+	return snap
+}
+
+// Snapshot writes a snapshot of the full cache state to w. The per-shard
+// copies happen under each shard's lock in turn; the encoding runs
+// outside all locks.
+func (s *Sharded) Snapshot(w io.Writer) error {
+	return persist.Write(w, s.ExportState())
+}
+
+// RestoreReport aggregates the per-shard restore outcomes.
+type RestoreReport struct {
+	// Resident, Retained, DemotedResident and Dropped sum the per-shard
+	// core.RestoreReport counters.
+	Resident        int
+	Retained        int
+	DemotedResident int
+	Dropped         int
+	// ThetaRestored reports whether an adaptive admission threshold was
+	// restored (snapshot carried one and this cache runs a tuner); Theta
+	// is the published value when it was.
+	ThetaRestored bool
+	Theta         float64
+}
+
+// RestoreSnapshot pours a decoded snapshot into the cache. The shard
+// count must match the snapshot's: entries were partitioned by signature
+// when captured, and restoring N shards' state into M≠N shards would
+// route queries away from their entries. The cache must not have served
+// any traffic yet.
+func (s *Sharded) RestoreSnapshot(snap *persist.Snapshot) (RestoreReport, error) {
+	var rep RestoreReport
+	if len(snap.Shards) != len(s.shards) {
+		return rep, fmt.Errorf("shard: snapshot captured %d shards but this cache has %d; restart with -shards %d (or discard the snapshot)",
+			len(snap.Shards), len(s.shards), len(snap.Shards))
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		r, err := sh.cache.RestoreState(snap.Shards[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return rep, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rep.Resident += r.Resident
+		rep.Retained += r.Retained
+		rep.DemotedResident += r.DemotedResident
+		rep.Dropped += r.Dropped
+	}
+	if snap.Admission != nil && s.tuner != nil {
+		if err := s.tuner.RestoreState(snap.Admission); err != nil {
+			return rep, err
+		}
+		rep.ThetaRestored = true
+		rep.Theta = s.tuner.Threshold()
+	}
+	return rep, nil
+}
+
+// Restore reads a snapshot from r and pours it into the cache. See
+// RestoreSnapshot for the preconditions.
+func (s *Sharded) Restore(r io.Reader) (RestoreReport, error) {
+	snap, err := persist.Read(r)
+	if err != nil {
+		return RestoreReport{}, err
+	}
+	return s.RestoreSnapshot(snap)
+}
+
+// SnapshotInfo describes one completed snapshot write.
+type SnapshotInfo struct {
+	// Path is the snapshot file written.
+	Path string `json:"path"`
+	// Bytes is the encoded size.
+	Bytes int64 `json:"bytes"`
+	// Resident is the number of resident sets captured.
+	Resident int `json:"resident"`
+	// Elapsed is the wall time of the capture + write.
+	Elapsed time.Duration `json:"-"`
+}
+
+// Snapshotter persists the cache to a file on a schedule and on demand.
+// Writes are atomic (temp file + rename), serialized by an internal
+// mutex, and never hold shard locks across the file I/O.
+type Snapshotter struct {
+	s        *Sharded
+	path     string
+	interval time.Duration
+
+	mu   sync.Mutex // serializes snapshot writes
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// Last-outcome record, so a persistently failing background loop is
+	// observable (via Last and the serving layer's /stats) instead of
+	// silently leaving an ever-staler file behind. Guarded by its own
+	// mutex so readers never block behind an in-progress file write.
+	lastMu     sync.Mutex
+	lastGood   SnapshotInfo // last successful write
+	lastGoodAt time.Time
+	lastErr    error // outcome of the most recent attempt, nil on success
+}
+
+// NewSnapshotter creates a snapshotter writing to path. A positive
+// interval starts a background loop that snapshots every interval;
+// interval 0 means on-demand only (Snapshot and the final flush in Close
+// still work). Close the snapshotter to stop the loop and flush a final
+// snapshot.
+func (s *Sharded) NewSnapshotter(path string, interval time.Duration) *Snapshotter {
+	sn := &Snapshotter{
+		s:        s,
+		path:     path,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if interval > 0 {
+		go sn.loop()
+	} else {
+		close(sn.done)
+	}
+	return sn
+}
+
+// Path returns the snapshot file path.
+func (sn *Snapshotter) Path() string { return sn.path }
+
+// Last reports snapshot health: the last SUCCESSFUL write (zero before
+// one happens) with its completion time — how stale the on-disk file is
+// — and the error of the most recent attempt, nil when it succeeded. The
+// serving layer surfaces this in /stats so a background loop that keeps
+// failing — full disk, permissions — is visible long before the stale
+// file is needed. Last never blocks behind an in-progress write.
+func (sn *Snapshotter) Last() (good SnapshotInfo, goodAt time.Time, err error) {
+	sn.lastMu.Lock()
+	defer sn.lastMu.Unlock()
+	return sn.lastGood, sn.lastGoodAt, sn.lastErr
+}
+
+func (sn *Snapshotter) loop() {
+	defer close(sn.done)
+	t := time.NewTicker(sn.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// A failed periodic snapshot must not kill the loop: the disk
+			// may be transiently full, and the next tick retries. The
+			// outcome is recorded either way and surfaced via Last.
+			_, _ = sn.Snapshot()
+		case <-sn.stop:
+			return
+		}
+	}
+}
+
+// Snapshot captures and writes one snapshot now, atomically replacing the
+// file at Path. It is safe for concurrent use (writes serialize) and may
+// be called from HTTP handlers.
+func (sn *Snapshotter) Snapshot() (SnapshotInfo, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	info, err := sn.write()
+	// Publish the outcome while still holding the write mutex, so two
+	// attempts cannot record out of order; Last takes only lastMu and
+	// never blocks behind the file I/O above.
+	sn.lastMu.Lock()
+	sn.lastErr = err
+	if err == nil {
+		sn.lastGood, sn.lastGoodAt = info, time.Now()
+	}
+	sn.lastMu.Unlock()
+	return info, err
+}
+
+// write performs one capture + atomic file replace. Called with mu held.
+func (sn *Snapshotter) write() (SnapshotInfo, error) {
+	start := time.Now()
+	snap := sn.s.ExportState()
+
+	dir := filepath.Dir(sn.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(sn.path)+".tmp*")
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := persist.Write(tmp, snap); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	size, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), sn.path); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	return SnapshotInfo{
+		Path:     sn.path,
+		Bytes:    size,
+		Resident: snap.Resident(),
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// Close stops the background loop (if any) and flushes one final
+// snapshot — the graceful-shutdown path, so a SIGTERM preserves
+// everything learned since the last periodic write. It is idempotent.
+func (sn *Snapshotter) Close() (SnapshotInfo, error) {
+	sn.once.Do(func() {
+		close(sn.stop)
+	})
+	<-sn.done
+	return sn.Snapshot()
+}
+
+// RestoreFile restores the cache from the snapshot file at path. A
+// missing file is not an error — it is the normal cold start — and is
+// reported by ok=false with a zero report.
+func (s *Sharded) RestoreFile(path string) (rep RestoreReport, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return RestoreReport{}, false, nil
+	}
+	if err != nil {
+		return RestoreReport{}, false, err
+	}
+	defer f.Close()
+	rep, err = s.Restore(f)
+	if err != nil {
+		return rep, false, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	return rep, true, nil
+}

@@ -119,6 +119,13 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	}
 	for i := range t.Records {
 		r := &t.Records[i]
+		// Fail loudly rather than persist a record the reader (or worse,
+		// an older reader without validation) would decode into bad cache
+		// state — a ';' in a relation name or a non-positive size is
+		// unrepresentable, not merely unusual.
+		if err := r.Validate(); err != nil {
+			return err
+		}
 		if err := d.uvarint(math.Float64bits(r.Time)); err != nil {
 			return err
 		}
@@ -350,6 +357,13 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 				return nil, err
 			}
 		}
+		// Decode-side validation: a record with a zero size or negative
+		// cost would flow into the cache and make the LNC profit NaN/±Inf;
+		// reject it instead. Validate's message already carries the
+		// record's position (Seq == i here).
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -466,6 +480,12 @@ func WriteCSV(w io.Writer, t *Trace) error {
 	row := make([]string, len(cols))
 	for i := range t.Records {
 		r := &t.Records[i]
+		// The ';' relation-separator makes some names unrepresentable in
+		// this format; Validate rejects them (and every other invalid
+		// record) here so the file can never decode into different data.
+		if err := r.Validate(); err != nil {
+			return err
+		}
 		row[0] = strconv.FormatInt(r.Seq, 10)
 		row[1] = strconv.FormatFloat(r.Time, 'g', -1, 64)
 		row[2] = r.QueryID
@@ -547,6 +567,14 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			if err := json.Unmarshal([]byte(row[8]), rec.Plan); err != nil {
 				return nil, fmt.Errorf("trace: bad plan %q: %w", row[8], err)
 			}
+		}
+		// Decode-side validation, with the physical file position: a
+		// size-0 or negative-cost row must never reach the cache's profit
+		// math, and the error must point at the line an editor shows (the
+		// metadata and header rows offset the record index by two).
+		if err := rec.Validate(); err != nil {
+			line, _ := cr.FieldPos(0)
+			return nil, fmt.Errorf("CSV line %d: %w", line, err)
 		}
 		t.Records = append(t.Records, rec)
 	}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// invalidRecordTraces enumerates traces that are structurally encodable
+// but semantically invalid — the rows that used to flow straight into the
+// cache and corrupt the LNC profit metric.
+func invalidRecordTraces() map[string]*Trace {
+	mk := func(mut func(*Record)) *Trace {
+		tr := sampleTrace()
+		mut(&tr.Records[1])
+		return tr
+	}
+	return map[string]*Trace{
+		"zero size":          mk(func(r *Record) { r.Size = 0 }),
+		"negative size":      mk(func(r *Record) { r.Size = -5 }),
+		"negative cost":      mk(func(r *Record) { r.Cost = -1 }),
+		"NaN cost":           mk(func(r *Record) { r.Cost = math.NaN() }),
+		"inf cost":           mk(func(r *Record) { r.Cost = math.Inf(1) }),
+		"NaN time":           mk(func(r *Record) { r.Time = math.NaN() }),
+		"empty query id":     mk(func(r *Record) { r.QueryID = "" }),
+		"semicolon relation": mk(func(r *Record) { r.Relations = []string{"a;b"} }),
+		"empty relation":     mk(func(r *Record) { r.Relations = []string{""} }),
+	}
+}
+
+// TestWritersRejectInvalidRecords: both codecs must fail loudly at encode
+// time rather than persist a file that decodes into different (or
+// poisonous) data. The ';' case is the motivating one: WriteCSV joins
+// relations with ';', so "a;b" would silently decode as two relations
+// and aim invalidations at the wrong keys.
+func TestWritersRejectInvalidRecords(t *testing.T) {
+	for name, tr := range invalidRecordTraces() {
+		if err := WriteBinary(&bytes.Buffer{}, tr); err == nil {
+			t.Errorf("%s: WriteBinary must fail", name)
+		}
+		if err := WriteCSV(&bytes.Buffer{}, tr); err == nil {
+			t.Errorf("%s: WriteCSV must fail", name)
+		}
+	}
+}
+
+// TestReadCSVRejectsInvalidRecords: decode-side validation with the row
+// position, for files produced by other tools (or older writers).
+func TestReadCSVRejectsInvalidRecords(t *testing.T) {
+	rows := map[string]string{
+		"zero size":     "0,1,q1,t.a,0,0,10,r1",
+		"negative size": "0,1,q1,t.a,0,-4,10,r1",
+		"negative cost": "0,1,q1,t.a,0,100,-10,r1",
+		"NaN cost":      "0,1,q1,t.a,0,100,NaN,r1",
+		"inf cost":      "0,1,q1,t.a,0,100,+Inf,r1",
+		"empty id":      "0,1,,t.a,0,100,10,r1",
+	}
+	for name, row := range rows {
+		in := "#name,x,1048576\nseq,time,query_id,template,class,size,cost,relations\n" + row + "\n"
+		_, err := ReadCSV(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: ReadCSV must fail", name)
+			continue
+		}
+		// The position must be the physical file line (the metadata and
+		// header rows sit on lines 1-2, the bad row on line 3).
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: error %q does not carry the file line", name, err)
+		}
+	}
+}
+
+// rawBinaryTrace hand-encodes a v1 binary trace with one record, so the
+// test can produce byte streams the (now validating) writer refuses to.
+func rawBinaryTrace(size int64, cost float64, queryID string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("WMTRACE1")
+	uv := func(v uint64) { buf.Write(binary.AppendUvarint(nil, v)) }
+	vi := func(v int64) { buf.Write(binary.AppendVarint(nil, v)) }
+	str := func(s string) { uv(0); uv(uint64(len(s))); buf.WriteString(s) }
+	uv(uint64(len("bad"))) // trace name
+	buf.WriteString("bad")
+	vi(1 << 20)                // dbBytes
+	uv(1)                      // record count
+	uv(math.Float64bits(1))    // time
+	str(queryID)               // query id
+	str("tpl")                 // template
+	vi(0)                      // class
+	vi(size)                   // size
+	uv(math.Float64bits(cost)) // cost
+	uv(0)                      // relations
+	return buf.Bytes()
+}
+
+// TestReadBinaryRejectsInvalidRecords: a size-0 or negative-cost record
+// in an externally produced binary stream must be rejected with its
+// position, not decoded into the cache's profit math.
+func TestReadBinaryRejectsInvalidRecords(t *testing.T) {
+	cases := map[string][]byte{
+		"zero size":     rawBinaryTrace(0, 10, "q"),
+		"negative size": rawBinaryTrace(-8, 10, "q"),
+		"negative cost": rawBinaryTrace(100, -3, "q"),
+		"NaN cost":      rawBinaryTrace(100, math.NaN(), "q"),
+		"empty id":      rawBinaryTrace(100, 10, ""),
+	}
+	for name, raw := range cases {
+		_, err := ReadBinary(bytes.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s: ReadBinary must fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "record 0") {
+			t.Errorf("%s: error %q does not carry the record position", name, err)
+		}
+	}
+	// The same stream with valid values must still decode.
+	if _, err := ReadBinary(bytes.NewReader(rawBinaryTrace(100, 10, "q"))); err != nil {
+		t.Fatalf("valid hand-encoded stream rejected: %v", err)
+	}
+}
+
+// TestSemicolonRelationNeverRoundTrips documents the corruption the
+// writer-side rejection prevents: without it, one relation "a;b" comes
+// back as two.
+func TestSemicolonRelationNeverRoundTrips(t *testing.T) {
+	tr := sampleTrace()
+	tr.Records[0].Relations = []string{"a;b"}
+	err := WriteCSV(&bytes.Buffer{}, tr)
+	if err == nil {
+		t.Fatal("WriteCSV must reject a ';' relation name")
+	}
+	if !strings.Contains(err.Error(), "a;b") {
+		t.Fatalf("error %q does not name the offending relation", err)
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate must reject a ';' relation name")
+	}
+}

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -47,17 +48,35 @@ type Record struct {
 	Plan *engine.Descriptor
 }
 
-// Validate reports whether the record is internally consistent.
+// Validate reports whether the record is internally consistent. Both
+// codecs enforce it at encode AND decode time: an invalid record that
+// slipped into the cache would poison the profit metric — a size-0 set
+// makes λc/s divide by zero and a negative or non-finite cost turns it
+// NaN/±Inf, silently corrupting eviction order — and a relation name
+// containing the CSV codec's ';' separator would split into two names on
+// re-read and aim invalidations at the wrong keys.
 func (r *Record) Validate() error {
 	switch {
 	case r.QueryID == "":
 		return fmt.Errorf("trace: record %d: empty query ID", r.Seq)
 	case r.Size <= 0:
 		return fmt.Errorf("trace: record %d (%s): non-positive size %d", r.Seq, r.QueryID, r.Size)
+	case math.IsNaN(r.Cost) || math.IsInf(r.Cost, 0):
+		return fmt.Errorf("trace: record %d (%s): non-finite cost %g", r.Seq, r.QueryID, r.Cost)
 	case r.Cost < 0:
 		return fmt.Errorf("trace: record %d (%s): negative cost %g", r.Seq, r.QueryID, r.Cost)
+	case math.IsNaN(r.Time) || math.IsInf(r.Time, 0):
+		return fmt.Errorf("trace: record %d (%s): non-finite time %g", r.Seq, r.QueryID, r.Time)
 	case r.Time < 0:
 		return fmt.Errorf("trace: record %d (%s): negative time %g", r.Seq, r.QueryID, r.Time)
+	}
+	for _, rel := range r.Relations {
+		if rel == "" {
+			return fmt.Errorf("trace: record %d (%s): empty relation name", r.Seq, r.QueryID)
+		}
+		if strings.Contains(rel, ";") {
+			return fmt.Errorf("trace: record %d (%s): relation name %q contains ';' (reserved as the CSV relation separator)", r.Seq, r.QueryID, rel)
+		}
 	}
 	if r.Plan != nil {
 		if err := r.Plan.Validate(); err != nil {

@@ -72,13 +72,35 @@
 // in the background. `watchman compare` measures the adaptive admitter
 // against the static policies, and `watchman serve -adaptive` exposes the
 // tuner state at GET /v1/admission.
+//
+// # Snapshot persistence
+//
+// Everything a cache has learned — resident payloads, retained reference
+// histories, λ-estimator state, Stats and the adaptive θ — can be
+// captured as a versioned, CRC-checked binary snapshot and restored into
+// a fresh cache before it starts serving, so a restart resumes warm:
+//
+//	var buf bytes.Buffer
+//	err := cache.Snapshot(&buf)                       // Sharded: all shards
+//	...
+//	fresh, _ := watchman.NewSharded(sameConfig)
+//	report, err := fresh.Restore(bytes.NewReader(buf.Bytes()))
+//
+// Sharded.NewSnapshotter adds file persistence with a background interval
+// loop and atomic replace; `watchman serve -snapshot-path` wires it into
+// the daemon (restore on boot, POST /v1/snapshot on demand, final flush
+// on SIGTERM) and `watchman compare -restart` measures warm-vs-cold
+// restart cost savings.
 package watchman
 
 import (
+	"io"
+
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/derive"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -288,6 +310,8 @@ const (
 	// EventHitDerived is a reference answered by semantic derivation from
 	// a cached ancestor.
 	EventHitDerived = core.EventHitDerived
+	// EventRestore announces a resident entry re-admitted from a snapshot.
+	EventRestore = core.EventRestore
 )
 
 // EventSink observes lifecycle events; see Config.Sink for the execution
@@ -315,6 +339,45 @@ type TelemetrySnapshot = telemetry.Snapshot
 
 // NewTelemetryRegistry creates an empty telemetry registry.
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// Snapshot is the in-memory form of one persisted cache image: one
+// CacheState per shard plus the optional adaptive admission state. Build
+// one with Sharded.ExportState (or core-level export) and serialize it
+// with WriteSnapshot.
+type Snapshot = persist.Snapshot
+
+// CacheState is the exportable learned state of one cache: entries,
+// reference histories, λ context and Stats.
+type CacheState = core.CacheState
+
+// EntryState is the exportable form of one cache record.
+type EntryState = core.EntryState
+
+// RestoreReport summarizes what a Sharded.Restore did: how many records
+// came back resident or retained, what was demoted or dropped by a
+// capacity/policy change, and whether the admission θ survived.
+type RestoreReport = shard.RestoreReport
+
+// Snapshotter persists a Sharded cache to a file on a schedule and on
+// demand, with atomic replace; obtain one from Sharded.NewSnapshotter.
+type Snapshotter = shard.Snapshotter
+
+// SnapshotInfo describes one completed snapshot write.
+type SnapshotInfo = shard.SnapshotInfo
+
+// TunerState is the exportable state of an AdmissionTuner: the published
+// θ, per-candidate smoothed scores, and the buffered profile windows.
+type TunerState = admission.TunerState
+
+// WriteSnapshot encodes a snapshot in the WMSNAP binary format (versioned
+// magic, CRC-checked sections).
+func WriteSnapshot(w io.Writer, snap *Snapshot) error { return persist.Write(w, snap) }
+
+// ReadSnapshot decodes a WMSNAP snapshot, verifying magic, version and
+// every section checksum. It returns persist.ErrBadMagic,
+// persist.ErrBadVersion or persist.ErrCorrupt on hostile input, never
+// partially decoded state.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return persist.Read(r) }
 
 // Item is one retrieved set in the §2.3 offline model.
 type Item = core.Item
