@@ -375,6 +375,56 @@ func BenchmarkReferenceWithRegistry(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedReferenceFlight measures the flight recorder's cost on
+// the same contended hot/cold mix at 16 shards: recorder absent (the nil
+// check only), sampling 1 in 64 (the serve -debug default), and capturing
+// every span. The off case must be indistinguishable from
+// BenchmarkShardedReference — attaching no recorder costs one nil check
+// per reference and zero allocations.
+func BenchmarkShardedReferenceFlight(b *testing.B) {
+	cases := []struct {
+		name string
+		rec  *watchman.FlightRecorder
+	}{
+		{"recorder=off", nil},
+		{"recorder=sampled", watchman.NewFlightRecorder(watchman.FlightConfig{SampleEvery: 64})},
+		{"recorder=always", watchman.NewFlightRecorder(watchman.FlightConfig{SampleEvery: 1})},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sc, err := watchman.NewSharded(watchman.ShardedConfig{
+				Shards:   16,
+				Cache:    watchman.Config{Capacity: 8 << 20, K: 4, Policy: watchman.LNCRA},
+				Recorder: tc.rec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 1_000_003
+				for pb.Next() {
+					i++
+					var id string
+					if i%8 == 0 {
+						id = fmt.Sprintf("cold query %d", i%65536)
+					} else {
+						id = fmt.Sprintf("hot query %d", i%64)
+					}
+					sc.Reference(watchman.Request{QueryID: id, Size: 256, Cost: 100})
+				}
+			})
+			st := sc.Stats()
+			b.ReportMetric(float64(st.Hits)/float64(st.References), "hit-ratio")
+			b.ReportMetric(float64(st.References)/b.Elapsed().Seconds(), "refs/s")
+			if tc.rec != nil && len(tc.rec.Decisions(1)) == 0 {
+				b.Fatal("recorder attached but captured no decisions")
+			}
+		})
+	}
+}
+
 // BenchmarkCompressID measures query-ID canonicalization.
 func BenchmarkCompressID(b *testing.B) {
 	q := "select l_returnflag, l_linestatus, sum(l_quantity), avg(l_extendedprice) from lineitem where l_shipdate <= 2520 group by l_returnflag, l_linestatus"

@@ -14,6 +14,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/derive"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -31,7 +32,12 @@ type compareRow struct {
 	stats    core.Stats
 	classes  []telemetry.ClassSnapshot // per-class breakdown from the attached registry
 	adaptive *sim.AdaptiveResult       // nil for static policies
+	regret   []flight.Regret           // -explain: top regretted rejections
+	tracked  int                       // -explain: signatures the tracker followed
 }
+
+// regretTopK bounds the -explain regret report per policy.
+const regretTopK = 10
 
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
@@ -47,6 +53,7 @@ func cmdCompare(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "cache size in bytes (overrides -cache-pct)")
 	window := fs.Int("window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
 	restart := fs.Bool("restart", false, "run the warm-vs-cold restart experiment instead: replay half the trace, snapshot + restore through the persist codec, replay the rest, and compare second-half cost savings against the uninterrupted and cold-restart runs (always LNC-RA)")
+	explain := fs.Bool("explain", false, "after the comparison table, print each policy's regret report: the top rejected-then-re-referenced signatures ranked by cost forgone, with the last rejection's profit-vs-θ·bar inputs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +64,7 @@ func cmdCompare(args []string) error {
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "policies", "window":
+			case "policies", "window", "explain":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
@@ -93,7 +100,7 @@ func cmdCompare(args []string) error {
 		if name == "" {
 			continue
 		}
-		row, err := compareOne(tr, name, capacity, *k, *window)
+		row, err := compareOne(tr, name, capacity, *k, *window, *explain)
 		if err != nil {
 			return fmt.Errorf("compare: %w", err)
 		}
@@ -146,7 +153,66 @@ func cmdCompare(args []string) error {
 				r.adaptive.FinalThreshold, r.adaptive.Rounds, r.adaptive.Switches, *window)
 		}
 	}
+	if *explain {
+		for _, r := range rows {
+			if err := renderRegret(r); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// renderRegret prints one policy's regret report: the signatures whose
+// rejection cost the most, with the inequality inputs of the last decided
+// rejection so the reader can see how far each one missed the bar.
+func renderRegret(r compareRow) error {
+	fmt.Println()
+	if len(r.regret) == 0 {
+		fmt.Printf("regret report: %s rejected nothing that was referenced again (%d signatures tracked)\n",
+			r.label, r.tracked)
+		return nil
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("regret report: top %d rejected-then-re-referenced signatures under %s (%d tracked)",
+			len(r.regret), r.label, r.tracked),
+		"query id", "rejections", "rerefs", "cost forgone", "last profit", "last θ·bar")
+	for _, g := range r.regret {
+		lastBar := "-"
+		lastProfit := "-"
+		if g.LastTheta != 0 || g.LastBar != 0 || g.LastProfit != 0 {
+			lastProfit = fmt.Sprintf("%.4g", g.LastProfit)
+			theta := g.LastTheta
+			if theta == 0 {
+				theta = 1
+			}
+			lastBar = fmt.Sprintf("%.4g", theta*g.LastBar)
+		}
+		t.AddRow(clipID(g.ID, 64),
+			fmt.Sprint(g.Rejections),
+			fmt.Sprint(g.Rerefs),
+			fmt.Sprintf("%.1f", g.CostForgone),
+			lastProfit, lastBar)
+	}
+	return t.Render(os.Stdout)
+}
+
+// clipID shortens a compressed query signature for table display; the
+// full ID remains queryable via /v1/explain/{id}.
+func clipID(id string, max int) string {
+	// Compressed IDs join tokens with a control-character separator
+	// (core.CompressID); render it as a space so the table stays readable
+	// and every byte occupies one display column.
+	b := []byte(id)
+	for i, c := range b {
+		if c < 0x20 {
+			b[i] = ' '
+		}
+	}
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max-3]) + "..."
 }
 
 // compareRestart runs the warm-vs-cold restart experiment and renders its
@@ -185,17 +251,32 @@ func compareRestart(tr *trace.Trace, capacity int64, k int) error {
 // "lnc-ra-adaptive" (or "adaptive") selects the shadow-tuned admitter and
 // "lnc-ra-derive" (or "derive") the semantic derivation subsystem;
 // everything else resolves through parsePolicy.
-func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (compareRow, error) {
+func compareOne(tr *trace.Trace, name string, capacity int64, k, window int, explain bool) (compareRow, error) {
 	reg := telemetry.NewRegistry()
+	// With -explain, a regret tracker rides the same event stream as the
+	// registry; finish stamps its report onto the finished row.
+	var tracker *flight.RegretTracker
+	var sink core.EventSink
+	if explain {
+		tracker = flight.NewRegretTracker(0)
+		sink = tracker
+	}
+	finish := func(row compareRow) compareRow {
+		if tracker != nil {
+			row.regret = tracker.Top(regretTopK)
+			row.tracked = tracker.Tracked()
+		}
+		return row
+	}
 	switch strings.ToLower(name) {
 	case "lnc-ra-adaptive", "lncra-adaptive", "adaptive":
 		res, _, err := sim.ReplayAdaptive(tr,
-			core.Config{Capacity: capacity, K: k, Sink: reg},
+			core.Config{Capacity: capacity, K: k, Sink: core.MultiSink(sink, reg)},
 			admission.Config{Window: window})
 		if err != nil {
 			return compareRow{}, err
 		}
-		return compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes, adaptive: &res}, nil
+		return finish(compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes, adaptive: &res}), nil
 	case "lnc-ra-derive", "lncra-derive", "derive":
 		if !tr.HasPlans() {
 			return compareRow{}, fmt.Errorf(
@@ -203,21 +284,21 @@ func compareOne(tr *trace.Trace, name string, capacity int64, k, window int) (co
 				name, tr.Name)
 		}
 		res, _, _, err := sim.ReplayDerived(tr,
-			core.Config{Capacity: capacity, K: k, Policy: core.LNCRA, Sink: reg},
+			core.Config{Capacity: capacity, K: k, Policy: core.LNCRA, Sink: core.MultiSink(sink, reg)},
 			derive.Config{})
 		if err != nil {
 			return compareRow{}, err
 		}
-		return compareRow{label: res.Policy + "+derive", stats: res.Stats, classes: reg.Snapshot().Classes}, nil
+		return finish(compareRow{label: res.Policy + "+derive", stats: res.Stats, classes: reg.Snapshot().Classes}), nil
 	default:
 		pk, err := parsePolicy(name)
 		if err != nil {
 			return compareRow{}, err
 		}
-		res, _, err := sim.ReplayWithRegistry(tr, core.Config{Capacity: capacity, K: k, Policy: pk}, reg)
+		res, _, err := sim.ReplayWithRegistry(tr, core.Config{Capacity: capacity, K: k, Policy: pk, Sink: sink}, reg)
 		if err != nil {
 			return compareRow{}, err
 		}
-		return compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes}, nil
+		return finish(compareRow{label: res.Policy, stats: res.Stats, classes: reg.Snapshot().Classes}), nil
 	}
 }

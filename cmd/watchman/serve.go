@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/derive"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -70,15 +72,17 @@ func (f shardedFlags) coreConfig(capacity int64) (core.Config, error) {
 	}, nil
 }
 
-// build constructs the sharded cache from the parsed flags.
-func (f shardedFlags) build(capacity int64) (*shard.Sharded, error) {
+// build constructs the sharded cache from the parsed flags. rec may be
+// nil (no flight recorder attached).
+func (f shardedFlags) build(capacity int64, rec *flight.Recorder) (*shard.Sharded, error) {
 	cfg, err := f.coreConfig(capacity)
 	if err != nil {
 		return nil, err
 	}
 	return shard.New(shard.Config{
-		Shards: *f.shards,
-		Cache:  cfg,
+		Shards:   *f.shards,
+		Cache:    cfg,
+		Recorder: rec,
 	})
 }
 
@@ -92,11 +96,14 @@ func cmdServe(args []string) error {
 	telemetryOn := fs.Bool("telemetry", true, "attach the telemetry registry (GET /metrics, per-class /stats sections)")
 	snapshotPath := fs.String("snapshot-path", "", "snapshot file: restore cache state from it on boot (warm restart) and persist to it (POST /v1/snapshot, periodic with -snapshot-interval, final flush on graceful shutdown)")
 	snapshotInterval := fs.Duration("snapshot-interval", 0, "background snapshot period (0 = on-demand and shutdown only; needs -snapshot-path)")
+	debugOn := fs.Bool("debug", false, "attach the flight recorder (GET /debug/requests, GET /v1/explain/{id}, stage-latency histograms) and mount pprof under /debug/pprof")
+	flightSample := fs.Int("flight-sample", flight.DefaultSampleEvery, "flight recorder: capture one span in N (1 = every span; needs -debug)")
+	flightSlow := fs.Duration("flight-slow", flight.DefaultSlowThreshold, "flight recorder: always capture spans slower than this (needs -debug)")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*adaptive || *snapshotPath == "" {
+	if !*adaptive || *snapshotPath == "" || !*debugOn {
 		// Reject rather than silently ignore flags that have no effect in
 		// this configuration (same strictness as loadgen's -addr).
 		var ignored []string
@@ -106,11 +113,16 @@ func cmdServe(args []string) error {
 				ignored = append(ignored, "-"+f.Name+" (needs -adaptive)")
 			case f.Name == "snapshot-interval" && *snapshotPath == "":
 				ignored = append(ignored, "-"+f.Name+" (needs -snapshot-path)")
+			case (f.Name == "flight-sample" || f.Name == "flight-slow") && !*debugOn:
+				ignored = append(ignored, "-"+f.Name+" (needs -debug)")
 			}
 		})
 		if len(ignored) > 0 {
 			return fmt.Errorf("serve: %s", strings.Join(ignored, ", "))
 		}
+	}
+	if *flightSample < 1 {
+		return fmt.Errorf("serve: -flight-sample must be at least 1, got %d", *flightSample)
 	}
 	if *snapshotInterval < 0 {
 		return fmt.Errorf("serve: negative -snapshot-interval %v", *snapshotInterval)
@@ -143,12 +155,23 @@ func cmdServe(args []string) error {
 		// payload rewriting happens only for in-process engine results.
 		deriver = derive.New(derive.Config{})
 	}
-	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg, Deriver: deriver})
+	var rec *flight.Recorder
+	if *debugOn {
+		rec = flight.New(flight.Config{
+			SampleEvery:   *flightSample,
+			SlowThreshold: *flightSlow,
+			Registry:      reg,
+		})
+	}
+	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg, Deriver: deriver, Recorder: rec})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	var snapshotter *shard.Snapshotter
 	hsrv := server.New(sc)
+	if *debugOn {
+		hsrv.EnableProfiling()
+	}
 	if *snapshotPath != "" {
 		// Warm restart: restore before the listener exists, so the first
 		// request already sees the recovered residency and θ.
@@ -197,6 +220,9 @@ func cmdServe(args []string) error {
 	if reg != nil {
 		policyDesc += ", telemetry on"
 	}
+	if rec != nil {
+		policyDesc += fmt.Sprintf(", debug on (1/%d spans)", *flightSample)
+	}
 	if snapshotter != nil {
 		policyDesc += ", snapshots " + *snapshotPath
 	}
@@ -240,6 +266,7 @@ func cmdLoadgen(args []string) error {
 	cachePct := fs.Float64("cache-pct", 1, "in-process cache size as % of database size")
 	cacheBytes := fs.Int64("cache-bytes", 0, "in-process cache size in bytes (overrides -cache-pct)")
 	compareSerial := fs.Bool("compare-serial", false, "also replay serially through one core cache and report the CSR delta")
+	slowlog := fs.Int("slowlog", 0, "after the replay, print the N slowest recorded spans (in-process: attaches a flight recorder; with -addr: fetches /debug/requests?slow=1 from the server)")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,6 +276,9 @@ func cmdLoadgen(args []string) error {
 	}
 	if *concurrency < 1 {
 		return fmt.Errorf("loadgen: -concurrency must be at least 1")
+	}
+	if *slowlog < 0 {
+		return fmt.Errorf("loadgen: negative -slowlog %d", *slowlog)
 	}
 	if *addr != "" {
 		if *compareSerial {
@@ -279,6 +309,7 @@ func cmdLoadgen(args []string) error {
 
 	var ref referencer
 	var sc *shard.Sharded
+	var rec *flight.Recorder
 	var client *http.Client
 	target := "in-process"
 	capacity := *cacheBytes
@@ -302,7 +333,13 @@ func cmdLoadgen(args []string) error {
 		if capacity <= 0 {
 			capacity = sim.CacheBytesForFraction(tr, *cachePct)
 		}
-		sc, err = sf.build(capacity)
+		if *slowlog > 0 {
+			// The user asked for the slow log, so capture every span: the
+			// sampled default is for always-on production serving, not a
+			// bounded measurement run.
+			rec = flight.New(flight.Config{SampleEvery: 1})
+		}
+		sc, err = sf.build(capacity, rec)
 		if err != nil {
 			return fmt.Errorf("loadgen: %w", err)
 		}
@@ -361,7 +398,83 @@ func cmdLoadgen(args []string) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "watchman: could not fetch server stats: %v\n", err)
 	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *slowlog > 0 {
+		return printSlowlog(rec, client, target, *slowlog)
+	}
+	return nil
+}
+
+// printSlowlog renders the N slowest recorded spans after a replay. With
+// an in-process recorder it reads the rings directly; against a live
+// server it fetches /debug/requests?slow=1, and a 404 (no -debug on the
+// server) degrades to a stderr note rather than failing the run.
+func printSlowlog(rec *flight.Recorder, client *http.Client, base string, n int) error {
+	var spans []server.SpanJSON
+	coverage := "every span recorded"
+	if rec != nil {
+		for _, sp := range rec.Slowest(n) {
+			spans = append(spans, server.NewSpanJSON(sp))
+		}
+	} else {
+		coverage = "server-sampled; slow spans always captured"
+		var err error
+		if spans, err = fetchSlowlog(client, base, n); err != nil {
+			fmt.Fprintf(os.Stderr, "watchman: slowlog: %v\n", err)
+			return nil
+		}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("slow log: %d slowest recorded spans (%s)", len(spans), coverage),
+		"query id", "outcome", "total", "stages")
+	for _, sp := range spans {
+		t.AddRow(clipID(sp.ID, 64), sp.Outcome, time.Duration(sp.TotalNanos).String(), formatStages(sp.Stages))
+	}
+	fmt.Println()
 	return t.Render(os.Stdout)
+}
+
+// formatStages renders a stage→nanoseconds map as "load=1.2ms lookup=3µs",
+// largest stage first.
+func formatStages(stages map[string]int64) string {
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if stages[names[i]] != stages[names[j]] {
+			return stages[names[i]] > stages[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, time.Duration(stages[name])))
+	}
+	return strings.Join(parts, " ")
+}
+
+// fetchSlowlog pulls the slow log from a live server's flight recorder.
+func fetchSlowlog(client *http.Client, base string, n int) ([]server.SpanJSON, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/debug/requests?slow=1&n=%d", base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("server has no flight recorder (restart it with -debug)")
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("server returned %s: %s", resp.Status, msg)
+	}
+	var out server.DebugRequestsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
 }
 
 // replayConcurrent streams the trace through ref from n workers pulling

@@ -30,7 +30,7 @@ func TestShardedFlagsBuild(t *testing.T) {
 	if err := fs.Parse([]string{"-policy", "lnc-ra", "-shards", "8", "-k", "2", "-evictor", "heap"}); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := sf.build(1 << 20)
+	sc, err := sf.build(1<<20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestShardedFlagsBuild(t *testing.T) {
 	if err := fs.Parse([]string{"-evictor", "bogus"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.build(1 << 20); err == nil {
+	if _, err := sf.build(1<<20, nil); err == nil {
 		t.Error("bogus evictor must error")
 	}
 	fs = flag.NewFlagSet("x", flag.ContinueOnError)
@@ -51,7 +51,7 @@ func TestShardedFlagsBuild(t *testing.T) {
 	if err := fs.Parse([]string{"-policy", "bogus"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sf.build(1 << 20); err == nil {
+	if _, err := sf.build(1<<20, nil); err == nil {
 		t.Error("bogus policy must error")
 	}
 }

@@ -40,10 +40,29 @@ type AdmitterFunc func(AdmissionDecision) bool
 // Admit calls f.
 func (f AdmitterFunc) Admit(d AdmissionDecision) bool { return f(d) }
 
+// ThresholdReporter is implemented by admitters whose rule is the
+// thresholded profit comparison admit ⇔ profit > θ·bar and that can report
+// the current θ. The cache stamps the reported θ onto decision events and
+// spans so operators can reproduce the exact inequality the gate
+// evaluated; admitters without a meaningful θ simply don't implement it.
+type ThresholdReporter interface {
+	Threshold() float64
+}
+
+// lncaAdmitter is the paper's static LNC-A admission test; its threshold
+// θ is the constant 1.
+type lncaAdmitter struct{}
+
+// Admit applies the §2.2 comparison: profit must strictly exceed bar.
+func (lncaAdmitter) Admit(d AdmissionDecision) bool { return d.Profit > d.Bar }
+
+// Threshold reports LNC-A's fixed θ = 1.
+func (lncaAdmitter) Threshold() float64 { return 1 }
+
 // LNCA returns the paper's static LNC-A admission test: cache a set only
 // when its (estimated) profit strictly exceeds the aggregate (estimated)
 // profit of the sets it would evict. It is the default admitter of the
 // LNCRA policy.
 func LNCA() Admitter {
-	return AdmitterFunc(func(d AdmissionDecision) bool { return d.Profit > d.Bar })
+	return lncaAdmitter{}
 }

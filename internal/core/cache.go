@@ -72,6 +72,12 @@ type Config struct {
 	// set: the rejected entry, its candidate list and both sides of the
 	// profit comparison. Observability only; the decision is already made.
 	OnReject func(e *Entry, victims []*Entry, profit, bar float64)
+	// Tracer, if non-nil, receives one flight-recorder Span per reference,
+	// carrying per-stage monotonic timings and the admission decision's
+	// inputs. Like Sink, it runs under the cache's execution context and
+	// must not call back into the cache. Nil disables span capture with no
+	// hot-path cost beyond a nil check.
+	Tracer SpanSink
 }
 
 // Unlimited is a Capacity value denoting an effectively infinite cache.
@@ -196,6 +202,12 @@ type Request struct {
 	// cache; the derivation subsystem reads it). It is stored on the
 	// admitted entry so cached content stays matchable.
 	Plan any
+	// ExecNanos optionally attributes wall nanoseconds spent executing or
+	// deriving the query outside the cache (the concurrent front times its
+	// loader and derivation calls outside the shard lock) to the
+	// reference's flight-recorder span. Zero when untimed or untraced; it
+	// has no effect on caching decisions.
+	ExecNanos int64
 }
 
 // Cache is the WATCHMAN cache manager.
@@ -208,6 +220,17 @@ type Cache struct {
 	sinks    []EventSink
 	retained map[*Entry]struct{}
 	rc       *rateContext
+
+	// tracer receives completed reference spans; nil disables tracing.
+	// span is the per-reference scratch record — execution through the
+	// cache is serialized (single-threaded or under the shard mutex), so
+	// one scratch span keeps the traced hot path allocation-free. theta
+	// reads the admitter's current threshold for decision records; nil
+	// when the admitter reports none.
+	tracer   SpanSink
+	span     Span
+	spanMark int64
+	theta    func() float64
 
 	usedPayload int64
 	resident    int
@@ -254,6 +277,10 @@ func New(cfg Config) (*Cache, error) {
 		// every other accountant observes.
 		sinks = append(sinks, ds)
 	}
+	var theta func() float64
+	if tr, ok := admitter.(ThresholdReporter); ok {
+		theta = tr.Threshold
+	}
 	return &Cache{
 		cfg:      cfg,
 		index:    make(map[uint64][]*Entry),
@@ -263,6 +290,8 @@ func New(cfg Config) (*Cache, error) {
 		sinks:    sinks,
 		retained: make(map[*Entry]struct{}),
 		rc:       &rateContext{},
+		tracer:   cfg.Tracer,
+		theta:    theta,
 	}, nil
 }
 
@@ -388,7 +417,11 @@ func (c *Cache) ReferenceExecuted(req Request, sig uint64) (hit bool, payload an
 // already located the entry, so no second index probe runs.
 func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 	now := c.tick(t, e.Cost)
+	c.spanBegin(e.ID, class, e.Size, e.Cost, now)
+	c.spanStage(StageLookup) // the caller's probe located the entry
 	c.chargeHit(e, e.Cost, class, now)
+	c.spanEntry(e, now)
+	c.spanFinish(EventHit)
 	return e.Payload
 }
 
@@ -403,6 +436,8 @@ func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 // Size and Cost may be zero when unknown (a failed execution).
 func (c *Cache) Account(req Request, hit bool) {
 	now := c.tick(req.Time, req.Cost)
+	c.spanBegin(req.QueryID, req.Class, req.Size, req.Cost, now)
+	c.spanCharge(StageLoad, req.ExecNanos)
 	kind := EventExternalMiss
 	if hit {
 		c.stats.Hits++
@@ -416,6 +451,7 @@ func (c *Cache) Account(req Request, hit bool) {
 		c.emit(Event{Kind: kind, Time: now, Class: req.Class, ID: req.QueryID,
 			Size: req.Size, Cost: req.Cost, Relations: req.Relations})
 	}
+	c.spanFinish(kind)
 	c.sampleFragmentation()
 }
 
@@ -460,13 +496,18 @@ func (c *Cache) chargeHit(e *Entry, cost float64, class int, now float64) {
 // the admit and insert/evict stages run via miss.
 func (c *Cache) reference(req Request, id string, sig uint64, allowDerive bool) (hit bool, payload any) {
 	now := c.tick(req.Time, req.Cost)
+	c.spanBegin(id, req.Class, req.Size, req.Cost, now)
+	c.spanCharge(StageLoad, req.ExecNanos)
 
 	// Lookup stage.
 	e := c.lookup(id, sig)
+	c.spanStage(StageLookup)
 
 	if e != nil && e.resident {
 		// Account stage, hit outcome.
 		c.chargeHit(e, req.Cost, req.Class, now)
+		c.spanEntry(e, now)
+		c.spanFinish(EventHit)
 		return true, e.Payload
 	}
 
@@ -476,14 +517,19 @@ func (c *Cache) reference(req Request, id string, sig uint64, allowDerive bool) 
 	// — the comparison needs a basis, and a request that already carries
 	// its payload has nothing left to save.
 	if allowDerive && c.deriver != nil && req.Plan != nil && req.Payload == nil && req.Cost > 0 {
-		if d, ok := c.deriver.Derive(req); ok && d.Cost < req.Cost {
-			return true, c.deriveHit(e, id, sig, req, d, now)
+		d, ok := c.deriver.Derive(req)
+		c.spanStage(StageDerive)
+		if ok && d.Cost < req.Cost {
+			payload = c.deriveHit(e, id, sig, req, d, now)
+			c.spanFinish(EventHitDerived)
+			return true, payload
 		}
 	}
 
 	// Miss path (Figure 1 of the paper).
 	c.missesSincePrune++
 	c.miss(e, id, sig, req, now, false)
+	c.spanSubmit()
 	if c.missesSincePrune >= c.cfg.RetainedPruneEvery {
 		c.pruneRetained(now)
 		c.missesSincePrune = 0
@@ -531,11 +577,13 @@ func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64, 
 	}
 
 	e, hadHistory := c.accountMiss(e, id, sig, req, now)
-	victims, admitted := c.admit(e, hadHistory, req, now, derived)
+	victims, dec, admitted := c.admit(e, hadHistory, req, now, derived)
+	c.spanEntry(e, now)
+	c.spanStage(StageAdmit)
 	if !admitted {
 		return
 	}
-	c.commit(e, victims, req, now, derived)
+	c.commit(e, victims, req, now, derived, dec)
 }
 
 // accountMiss is the account stage of the miss path: it updates (or
@@ -552,26 +600,45 @@ func (c *Cache) accountMiss(e *Entry, id string, sig uint64, req Request, now fl
 	return e, hadHistory
 }
 
+// admitOutcome summarizes what the admit stage decided and on what
+// grounds, for the decision payloads of events and spans. decided is true
+// only when an Admitter ruled on a profit comparison; free-space
+// admissions and can-never-fit rejections leave it false.
+type admitOutcome struct {
+	profit, bar, theta float64
+	hasHistory         bool
+	decided            bool
+}
+
+// admitTheta reads the admitter's current threshold θ, or 0 when the
+// admitter does not report one.
+func (c *Cache) admitTheta() float64 {
+	if c.theta == nil {
+		return 0
+	}
+	return c.theta()
+}
+
 // admit is the admit stage: when free space suffices the set is admitted
 // outright (Figure 1); otherwise replacement selection produces the victim
 // list and the configured Admitter rules on the §2.2 profit comparison.
 // Denials are recorded (with the failed comparison on the event) and
 // return admitted = false.
-func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64, derived bool) (victims []*Entry, admitted bool) {
+func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64, derived bool) (victims []*Entry, dec admitOutcome, admitted bool) {
 	free := c.cfg.Capacity - c.usedPayload - c.metaBytes()
 	extraMeta := c.cfg.MetadataOverhead
 	if _, isRetained := c.retained[e]; isRetained {
 		extraMeta = 0 // its record is already charged
 	}
 	if free >= req.Size+extraMeta {
-		return nil, true
+		return nil, dec, true
 	}
 
 	victims = c.ev.candidates(req.Size+extraMeta-free, now)
 	if victims == nil {
 		// Cannot free enough space (pathological capacity); reject.
-		c.noteRejectedEntry(e, req, now, nil, 0, 0, derived)
-		return nil, false
+		c.noteRejectedEntry(e, req, now, nil, dec, derived)
+		return nil, dec, false
 	}
 	if c.admitter != nil {
 		var incoming, bar float64
@@ -580,6 +647,8 @@ func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64, deriv
 		} else {
 			incoming, bar = e.EProfit(), eprofitOf(victims)
 		}
+		dec = admitOutcome{profit: incoming, bar: bar, theta: c.admitTheta(),
+			hasHistory: hadHistory, decided: true}
 		if !c.admitter.Admit(AdmissionDecision{
 			Entry:      e,
 			Victims:    victims,
@@ -588,25 +657,31 @@ func (c *Cache) admit(e *Entry, hadHistory bool, req Request, now float64, deriv
 			Profit:     incoming,
 			Bar:        bar,
 		}) {
-			c.noteRejectedEntry(e, req, now, victims, incoming, bar, derived)
-			return nil, false
+			c.noteRejectedEntry(e, req, now, victims, dec, derived)
+			return nil, dec, false
 		}
 	}
-	return victims, true
+	return victims, dec, true
 }
 
 // commit is the insert/evict stage: evict the victims, make the entry
-// resident and emit the MissAdmitted event.
-func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64, derived bool) {
-	for _, v := range victims {
-		c.evict(v, now)
+// resident and emit the MissAdmitted event, carrying the admit stage's
+// comparison (dec) so decision accountants see what the gate evaluated.
+func (c *Cache) commit(e *Entry, victims []*Entry, req Request, now float64, derived bool, dec admitOutcome) {
+	for i, v := range victims {
+		c.evict(v, now, i)
 	}
+	c.spanStage(StageEvict)
 	c.insert(e, req)
+	c.spanStage(StageInsert)
 	c.stats.Admissions++
 	if c.hasSinks() {
 		c.emit(Event{Kind: EventMissAdmitted, Time: now, Class: e.Class, ID: e.ID,
-			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e, Derived: derived})
+			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e, Derived: derived,
+			Victims: victims, Profit: dec.profit, Bar: dec.bar, Theta: dec.theta,
+			HasHistory: dec.hasHistory, Decided: dec.decided})
 	}
+	c.spanDecision(EventMissAdmitted, dec, len(victims))
 }
 
 // noteRejected handles rejections where the entry may not exist yet.
@@ -618,6 +693,7 @@ func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now f
 				c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: id,
 					Size: req.Size, Cost: req.Cost, Relations: req.Relations, Derived: derived})
 			}
+			c.spanDecision(EventMissRejected, admitOutcome{}, 0)
 			return
 		}
 		e = &Entry{ID: id, Sig: sig, Size: req.Size, Cost: req.Cost, Class: req.Class, Relations: req.Relations, rc: c.rc}
@@ -626,24 +702,27 @@ func (c *Cache) noteRejected(e *Entry, id string, sig uint64, req Request, now f
 		c.retained[e] = struct{}{}
 	}
 	e.window.record(now)
-	c.noteRejectedEntry(e, req, now, nil, 0, 0, derived)
+	c.noteRejectedEntry(e, req, now, nil, admitOutcome{}, derived)
 }
 
 // noteRejectedEntry records a rejection for an entry whose reference window
-// is already up to date, emitting the MissRejected event (victims, profit
-// and bar carry the failed admission comparison when an Admitter denied
-// the set; victims is nil otherwise). The entry's reference information is
-// retained (§2.4: "a retrieved set that is initially rejected from cache
-// may be admitted after sufficient reference information is collected"),
-// unless the policy does not keep retained info, in which case an entry
-// not in any structure is dropped.
-func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64, victims []*Entry, profit, bar float64, derived bool) {
+// is already up to date, emitting the MissRejected event (victims, profit,
+// bar and theta carry the failed admission comparison when an Admitter
+// denied the set — Decided is true; victims is nil and Decided false
+// otherwise). The entry's reference information is retained (§2.4: "a
+// retrieved set that is initially rejected from cache may be admitted
+// after sufficient reference information is collected"), unless the policy
+// does not keep retained info, in which case an entry not in any structure
+// is dropped.
+func (c *Cache) noteRejectedEntry(e *Entry, req Request, now float64, victims []*Entry, dec admitOutcome, derived bool) {
 	c.stats.Rejections++
 	if c.hasSinks() {
 		c.emit(Event{Kind: EventMissRejected, Time: now, Class: req.Class, ID: e.ID,
 			Size: req.Size, Cost: req.Cost, Relations: req.Relations, Entry: e,
-			Victims: victims, Profit: profit, Bar: bar, Derived: derived})
+			Victims: victims, Profit: dec.profit, Bar: dec.bar, Theta: dec.theta,
+			HasHistory: dec.hasHistory, Decided: dec.decided, Derived: derived})
 	}
+	c.spanDecision(EventMissRejected, dec, len(victims))
 	if _, ok := c.retained[e]; ok {
 		return
 	}
@@ -677,8 +756,11 @@ func (c *Cache) insert(e *Entry, req Request) {
 }
 
 // evict removes a resident entry, retaining its reference information when
-// the policy keeps it, and emits the Evict event.
-func (c *Cache) evict(e *Entry, now float64) {
+// the policy keeps it, and emits the Evict event. rank is the entry's
+// position in the victim batch (0 = least profitable, evicted first); the
+// event carries it together with the victim's profit at eviction time so
+// decision accountants can audit the replacement ordering.
+func (c *Cache) evict(e *Entry, now float64, rank int) {
 	e.resident = false
 	e.Payload = nil
 	c.usedPayload -= e.Size
@@ -692,7 +774,8 @@ func (c *Cache) evict(e *Entry, now float64) {
 	}
 	if c.hasSinks() {
 		c.emit(Event{Kind: EventEvict, Time: now, Class: e.Class, ID: e.ID,
-			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e})
+			Size: e.Size, Cost: e.Cost, Relations: e.Relations, Entry: e,
+			Profit: e.Profit(now), Rank: rank})
 	}
 }
 

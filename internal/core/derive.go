@@ -75,6 +75,9 @@ func (c *Cache) deriveHit(e *Entry, id string, sig uint64, req Request, d Deriva
 			Size: size, Cost: req.Cost, DeriveCost: d.Cost, Relations: req.Relations,
 			AncestorID: d.AncestorID})
 	}
+	if c.tracer != nil {
+		c.span.AncestorID = d.AncestorID
+	}
 
 	// Admission at residual cost: with a derivable ancestor resident, a
 	// future reference to this set would save only remote − derivation,
@@ -102,7 +105,10 @@ func (c *Cache) deriveHit(e *Entry, id string, sig uint64, req Request, d Deriva
 // and req.Size the derived set's size. It returns the payload served.
 func (c *Cache) ReferenceDerived(req Request, sig uint64, d Derivation) (payload any) {
 	now := c.tick(req.Time, req.Cost)
+	c.spanBegin(req.QueryID, req.Class, req.Size, req.Cost, now)
+	c.spanCharge(StageDerive, req.ExecNanos)
 	e := c.lookup(req.QueryID, sig)
+	c.spanStage(StageLookup)
 	if e != nil && e.resident {
 		// The set became resident while the derivation ran (a concurrent
 		// direct Reference admitted it — the singleflight table only
@@ -110,7 +116,11 @@ func (c *Cache) ReferenceDerived(req Request, sig uint64, d Derivation) (payload
 		// insert machinery on a resident entry would double-charge
 		// capacity and the evictor.
 		c.chargeHit(e, req.Cost, req.Class, now)
+		c.spanEntry(e, now)
+		c.spanFinish(EventHit)
 		return e.Payload
 	}
-	return c.deriveHit(e, req.QueryID, sig, req, d, now)
+	payload = c.deriveHit(e, req.QueryID, sig, req, d, now)
+	c.spanFinish(EventHitDerived)
+	return payload
 }

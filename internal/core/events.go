@@ -102,12 +102,31 @@ type Event struct {
 	// its payload when the coherence event dropped it (false = only
 	// retained reference information was dropped).
 	Resident bool
-	// Victims is the replacement-candidate list of a failed admission
-	// comparison; it is non-nil exactly when an Admitter denied the set.
+	// Victims is the replacement-candidate list an admission comparison
+	// ruled on: the victims evicted by a MissAdmitted decision, or the
+	// candidates spared by a MissRejected one. It is non-nil exactly when
+	// Decided is true.
 	Victims []*Entry
-	// Profit and Bar are the two sides of the failed admission comparison,
-	// meaningful only on MissRejected events with Victims set.
+	// Profit and Bar are the two sides of the admission comparison on
+	// MissAdmitted/MissRejected events with Decided set. On Evict events
+	// Profit carries the victim's own profit at eviction time.
 	Profit, Bar float64
+	// Theta is the admission threshold θ the comparison used (admit ⇔
+	// Profit > Theta·Bar), when the admitter reports one; 0 means unknown.
+	// Meaningful only when Decided is true.
+	Theta float64
+	// HasHistory reports whether the comparison used the sliding-window
+	// profit estimates (true) or the e-profit estimates (false).
+	// Meaningful only when Decided is true.
+	HasHistory bool
+	// Decided reports whether an Admitter ruled on a profit comparison for
+	// this MissAdmitted/MissRejected event. False means the set was
+	// admitted into free space, or rejected without a comparison (too
+	// large to ever fit, or no victim set could free enough space).
+	Decided bool
+	// Rank is, on Evict events, the victim's position in its eviction
+	// batch (0 = least profitable, evicted first).
+	Rank int
 	// DeriveCost is the derivation cost of a HitDerived event; the cost
 	// saved by the derivation is Cost − DeriveCost.
 	DeriveCost float64

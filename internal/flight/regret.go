@@ -1,0 +1,123 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultRegretEntries bounds the regret tracker's signature map.
+const DefaultRegretEntries = 65536
+
+// Regret is the accumulated record of one rejected-then-re-referenced
+// signature: how often admission denied it, how many references arrived
+// after the first rejection, and the execution cost those references paid
+// that a cached copy would have saved — the cost forgone by rejecting.
+type Regret struct {
+	// ID is the compressed query ID.
+	ID string `json:"id"`
+	// Rejections counts admissions denied for the signature.
+	Rejections int64 `json:"rejections"`
+	// Rerefs counts missed references to the signature after its first
+	// rejection (each one re-executed remotely).
+	Rerefs int64 `json:"rerefs"`
+	// CostForgone is Σ cost over those re-references.
+	CostForgone float64 `json:"cost_forgone"`
+	// LastProfit, LastBar and LastTheta are the inputs of the most recent
+	// decided rejection (admit ⇔ profit > θ·bar), zero when every
+	// rejection was undecided (no comparison ran).
+	LastProfit float64 `json:"last_profit"`
+	LastBar    float64 `json:"last_bar"`
+	LastTheta  float64 `json:"last_theta"`
+}
+
+// RegretTracker accumulates the regret report from a cache's event
+// stream: it watches rejections, then charges every later miss of the
+// same signature as cost forgone. It implements core.EventSink; attach it
+// with core.MultiSink next to the telemetry registry. All methods are
+// safe for concurrent use.
+type RegretTracker struct {
+	mu      sync.Mutex
+	cells   map[string]*Regret
+	maxSize int
+}
+
+// NewRegretTracker creates a tracker bounded to maxEntries distinct
+// signatures (≤ 0 selects DefaultRegretEntries); once full, signatures
+// not yet tracked are dropped rather than evicting tracked ones.
+func NewRegretTracker(maxEntries int) *RegretTracker {
+	if maxEntries <= 0 {
+		maxEntries = DefaultRegretEntries
+	}
+	return &RegretTracker{cells: make(map[string]*Regret), maxSize: maxEntries}
+}
+
+// Emit implements core.EventSink.
+func (t *RegretTracker) Emit(ev core.Event) {
+	switch ev.Kind {
+	case core.EventMissRejected, core.EventMissAdmitted, core.EventExternalMiss:
+	default:
+		return
+	}
+	if ev.Derived {
+		// Admission bookkeeping for a derived set; the reference was
+		// already counted by its HitDerived event — and a derived answer
+		// costs its derivation, not a remote execution.
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cell := t.cells[ev.ID]
+	if cell != nil {
+		// Any miss after the first rejection re-paid the execution cost a
+		// cached copy would have saved.
+		cell.Rerefs++
+		cell.CostForgone += ev.Cost
+	}
+	if ev.Kind != core.EventMissRejected {
+		return
+	}
+	if cell == nil {
+		if len(t.cells) >= t.maxSize {
+			return
+		}
+		cell = &Regret{ID: ev.ID}
+		t.cells[ev.ID] = cell
+	}
+	cell.Rejections++
+	if ev.Decided {
+		cell.LastProfit, cell.LastBar, cell.LastTheta = ev.Profit, ev.Bar, ev.Theta
+	}
+}
+
+// Top returns the k signatures with the highest cost forgone (ties broken
+// by ID for determinism), excluding signatures never re-referenced after
+// rejection — those cost nothing to reject.
+func (t *RegretTracker) Top(k int) []Regret {
+	t.mu.Lock()
+	out := make([]Regret, 0, len(t.cells))
+	for _, c := range t.cells {
+		if c.Rerefs > 0 {
+			out = append(out, *c)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CostForgone != out[j].CostForgone {
+			return out[i].CostForgone > out[j].CostForgone
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Tracked returns the number of signatures currently tracked.
+func (t *RegretTracker) Tracked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cells)
+}

@@ -5,27 +5,37 @@
 //
 // Endpoints:
 //
-//	POST /v1/reference   lookup + admission for one query submission
-//	GET  /v1/peek/{id}   non-mutating residency probe for a query ID
-//	POST /v1/invalidate  coherence hook: drop entries by base relation
-//	GET  /v1/admission   adaptive-admission threshold and tuning history
-//	POST /v1/snapshot    on-demand snapshot flush (persistence enabled)
-//	GET  /stats          aggregated counters and the paper's metrics
-//	                     (?format=csv for a per-class CSV breakdown)
-//	GET  /metrics        Prometheus text exposition of the telemetry spine
-//	GET  /healthz        liveness probe
+//	POST /v1/reference    lookup + admission for one query submission
+//	GET  /v1/peek/{id}    non-mutating residency probe for a query ID
+//	GET  /v1/explain/{id} residency plus the last admission/eviction
+//	                      decision for the ID, inequality spelled out
+//	POST /v1/invalidate   coherence hook: drop entries by base relation
+//	GET  /v1/admission    adaptive-admission threshold and tuning history
+//	POST /v1/snapshot     on-demand snapshot flush (persistence enabled)
+//	GET  /stats           aggregated counters and the paper's metrics
+//	                      (?format=csv for a per-class CSV breakdown,
+//	                      &section=relation for the per-relation one)
+//	GET  /metrics         Prometheus text exposition of the telemetry spine
+//	GET  /debug/requests  recent flight-recorder spans (?slow=1 for the
+//	                      slow log); pprof mounts under /debug/pprof with
+//	                      EnableProfiling
+//	GET  /healthz         liveness probe with build info and uptime
 //
 // All bodies are JSON unless noted. Request times are logical seconds; a
 // zero or omitted time means "now" per the cache's time source, so live
 // traffic needs no clock of its own while trace replays can supply exact
 // stamps. /metrics and the per-class /stats sections require the cache to
-// have a telemetry registry attached (shard.Config.Registry).
+// have a telemetry registry attached (shard.Config.Registry); the debug
+// and explain endpoints require a flight recorder (shard.Config.Recorder).
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/engine"
@@ -162,18 +172,21 @@ type Server struct {
 	cache *shard.Sharded
 	snap  *shard.Snapshotter // nil when persistence is not configured
 	mux   *http.ServeMux
+	start time.Time // process start, for the uptime gauge
 }
 
 // New builds a server around the cache and registers all routes.
 func New(cache *shard.Sharded) *Server {
-	s := &Server{cache: cache, mux: http.NewServeMux()}
+	s := &Server{cache: cache, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/reference", s.handleReference)
 	s.mux.HandleFunc("GET /v1/peek/{id}", s.handlePeek)
+	s.mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -326,7 +339,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 	case "csv":
-		s.writeStatsCSV(w)
+		switch section := r.URL.Query().Get("section"); section {
+		case "", "class":
+			s.writeCSV(w, s.statsCSVTable())
+		case "relation":
+			s.writeCSV(w, s.relationCSVTable())
+		default:
+			writeError(w, http.StatusBadRequest, "unknown section %q (want class or relation)", section)
+		}
 		return
 	default:
 		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
@@ -390,10 +410,28 @@ func (s *Server) statsCSVTable() *metrics.Table {
 	return t
 }
 
-// writeStatsCSV serves GET /stats?format=csv via metrics.Table.CSV.
-func (s *Server) writeStatsCSV(w http.ResponseWriter) {
+// relationCSVTable renders the per-relation breakdown of the JSON stats
+// section as CSV (GET /stats?format=csv&section=relation). It is empty
+// without a telemetry registry: relations are tracked by the registry,
+// not the shard counters.
+func (s *Server) relationCSVTable() *metrics.Table {
+	t := metrics.NewTable("", "relation", "references", "hits", "derived_hits", "external_misses",
+		"invalidations", "cost_total", "cost_saved", "csr", "hit_ratio")
+	reg := s.cache.Registry()
+	if reg == nil {
+		return t
+	}
+	for _, rel := range reg.Snapshot().Relations {
+		t.AddRowValues(rel.Relation, rel.References, rel.Hits, rel.DerivedHits, rel.ExternalMisses,
+			rel.Invalidations, rel.CostTotal, rel.CostSaved, metrics.Ratio(rel.CSR()), metrics.Ratio(rel.HitRatio()))
+	}
+	return t
+}
+
+// writeCSV serves one stats table as CSV.
+func (s *Server) writeCSV(w http.ResponseWriter, t *metrics.Table) {
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	_ = s.statsCSVTable().CSV(w)
+	_ = t.CSV(w)
 }
 
 // handleMetrics serves the Prometheus text exposition format: the
@@ -416,8 +454,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("watchman_used_bytes", "Payload plus metadata bytes charged against capacity.", s.cache.UsedBytes())
 	gauge("watchman_capacity_bytes", "Total configured cache capacity.", s.cache.Capacity())
 	gauge("watchman_shards", "Number of cache shards.", int64(s.cache.NumShards()))
+	fmt.Fprintf(w, "# HELP watchman_build_info Build metadata; the value is always 1.\n"+
+		"# TYPE watchman_build_info gauge\n"+
+		"watchman_build_info{version=\"%s\",go_version=\"%s\"} 1\n",
+		telemetry.EscapeLabel(buildVersion()), telemetry.EscapeLabel(runtime.Version()))
+	fmt.Fprintf(w, "# HELP watchman_uptime_seconds Seconds since the server started.\n"+
+		"# TYPE watchman_uptime_seconds gauge\n"+
+		"watchman_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+}
+
+// buildVersion reports the main module's version from the embedded build
+// info — "(devel)" for plain go-build binaries, a pseudo-version for
+// module-installed ones, "unknown" when build info is absent (tests of
+// old toolchains).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// HealthzResponse is the body of GET /healthz: liveness plus the same
+// build identity and uptime /metrics exposes, so a probe (or a human with
+// curl) needs no Prometheus parser to identify the process.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:        "ok",
+		Version:       buildVersion(),
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
 }

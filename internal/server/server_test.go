@@ -187,9 +187,12 @@ func TestStatsAndHealthz(t *testing.T) {
 		t.Errorf("occupancy = %+v", st)
 	}
 
-	var health map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
-		t.Errorf("healthz: %d %v", code, health)
+	var health HealthzResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: %d %+v", code, health)
+	}
+	if health.Version == "" || health.GoVersion == "" || health.UptimeSeconds < 0 {
+		t.Errorf("healthz build info = %+v, want version, go_version and non-negative uptime", health)
 	}
 }
 

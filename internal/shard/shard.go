@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	flightrec "repro/internal/flight" // aliased: this package's singleflight struct is also named flight
 	"repro/internal/telemetry"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// fills. The hot-path threshold read is a single atomic load; shadow
 	// replays run off the request path.
 	Tuner *admission.Tuner
+	// Recorder, if non-nil, enables the flight recorder: every shard's
+	// cache gets a per-shard span tracer and decision sink writing into
+	// the recorder's rings, and loader/derivation executions on the Load
+	// path are timed so spans attribute their wall time. Nil keeps the
+	// lifecycle untraced (zero overhead beyond a nil check per hook).
+	Recorder *flightrec.Recorder
 	// Now supplies the logical-seconds timestamp for requests whose Time
 	// is zero. Nil selects WallClock(), anchored at construction.
 	Now func() float64
@@ -122,6 +129,11 @@ type flight struct {
 	// semantic derivation instead of running the loader; size and cost
 	// then carry the derived-set size and the remote-cost basis.
 	derivation *core.Derivation
+	// execNanos is the wall time the leader spent in the loader (or the
+	// derivation attempt), measured outside the shard lock; the flight
+	// recorder attributes it to the span's load/derive stage. Zero when
+	// untimed.
+	execNanos int64
 	// epoch is the shard's invalidation epoch at the moment the leader
 	// admitted the result; followers re-check their relations against it
 	// under the lock so an invalidation landing after the admission cannot
@@ -193,6 +205,7 @@ type Sharded struct {
 	tuner   *admission.Tuner
 	reg     *telemetry.Registry
 	deriver core.Deriver
+	rec     *flightrec.Recorder
 
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
@@ -226,6 +239,7 @@ func New(cfg Config) (*Sharded, error) {
 		tuner:   cfg.Tuner,
 		reg:     cfg.Registry,
 		deriver: cfg.Deriver,
+		rec:     cfg.Recorder,
 	}
 	if s.now == nil {
 		s.now = WallClock()
@@ -249,6 +263,12 @@ func New(cfg Config) (*Sharded, error) {
 			// Fan this shard's lifecycle events into the shared registry,
 			// preserving any sink the caller installed.
 			scfg.Sink = core.MultiSink(scfg.Sink, s.reg.ShardSink(i))
+		}
+		if s.rec != nil {
+			// The flight recorder taps both hooks: spans via the tracer,
+			// admission/eviction decision records via the event stream.
+			scfg.Tracer = s.rec.ShardTracer(i)
+			scfg.Sink = core.MultiSink(scfg.Sink, s.rec.ShardSink(i))
 		}
 		c, err := core.New(scfg)
 		if err != nil {
@@ -308,6 +328,10 @@ func (s *Sharded) Deriver() core.Deriver { return s.deriver }
 // Registry returns the telemetry registry the cache's lifecycle events
 // fan into, or nil when none was configured.
 func (s *Sharded) Registry() *telemetry.Registry { return s.reg }
+
+// FlightRecorder returns the flight recorder capturing this cache's spans
+// and decision records, or nil when tracing is disabled.
+func (s *Sharded) FlightRecorder() *flightrec.Recorder { return s.rec }
 
 // accountExternal charges a Load outcome that never reached the core miss
 // lifecycle — a stale singleflight result or a failed loader execution —
@@ -405,11 +429,18 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		// payload) would hand the caller nothing and admit a payload-less
 		// entry that turns every later Load hit into a nil result with
 		// the loader bypassed. Those fall through to the loader.
+		var start time.Time
+		if s.rec != nil {
+			start = time.Now()
+		}
 		if d, ok := s.deriver.Derive(core.Request{QueryID: id, Class: req.Class,
 			Relations: req.Relations, Plan: req.Plan}); ok && d.Payload != nil {
 			f.payload, f.size, f.cost = d.Payload, d.Size, d.Remote
 			f.derivation = &d
 			s.derivations.Add(1)
+		}
+		if s.rec != nil {
+			f.execNanos = int64(time.Since(start))
 		}
 	}
 	if f.derivation == nil {
@@ -428,19 +459,19 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		if f.derivation != nil {
 			sh.cache.ReferenceDerived(core.Request{
 				QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
-				Relations: req.Relations, Plan: req.Plan,
+				Relations: req.Relations, Plan: req.Plan, ExecNanos: f.execNanos,
 			}, sig, *f.derivation)
 		} else {
 			sh.cache.ReferenceExecuted(core.Request{
 				QueryID: id, Time: req.Time, Class: req.Class, Size: f.size, Cost: f.cost,
-				Relations: req.Relations, Payload: f.payload, Plan: req.Plan,
+				Relations: req.Relations, Payload: f.payload, Plan: req.Plan, ExecNanos: f.execNanos,
 			}, sig)
 		}
 	} else {
 		// The leader's outcome never reaches the miss lifecycle (loader
 		// failure, or a coherence event made the result stale): charge the
 		// reference as an external miss while the lock is already held.
-		areq := core.Request{QueryID: id, Time: req.Time, Class: req.Class, Relations: req.Relations}
+		areq := core.Request{QueryID: id, Time: req.Time, Class: req.Class, Relations: req.Relations, ExecNanos: f.execNanos}
 		if f.err == nil {
 			areq.Size, areq.Cost = f.size, f.cost
 		}
@@ -470,10 +501,11 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 // an error so a misbehaving loader cannot strand the flight's followers —
 // the inflight entry must always be removed and the WaitGroup completed.
 // With a registry attached, the execution is timed into the load-latency
-// histogram.
+// histogram; with a flight recorder attached, the wall time lands on the
+// flight so the leader's span can attribute it to its load stage.
 func (s *Sharded) runLoader(f *flight, req core.Request) {
 	var start time.Time
-	if s.reg != nil {
+	if s.reg != nil || s.rec != nil {
 		start = time.Now()
 	}
 	defer func() {
@@ -483,6 +515,9 @@ func (s *Sharded) runLoader(f *flight, req core.Request) {
 		s.loaderCalls.Add(1)
 		if s.reg != nil {
 			s.reg.ObserveLoad(time.Since(start).Seconds(), f.err != nil)
+		}
+		if s.rec != nil {
+			f.execNanos += int64(time.Since(start))
 		}
 	}()
 	f.payload, f.size, f.cost, f.err = s.loader(req)

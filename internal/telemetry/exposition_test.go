@@ -1,0 +1,224 @@
+package telemetry
+
+// Parser-level validation of the /metrics exposition: instead of checking
+// for a handful of known substrings, these tests parse every line of a
+// populated registry's output and enforce the structural rules scrapers
+// rely on — HELP/TYPE preceding the first sample of each family, bucket
+// cumulativity per series, le="+Inf" agreeing with _count, and _sum/_count
+// present for every histogram family. Future metric additions that break
+// any of these fail here rather than in production scrape errors.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// expoSample is one parsed non-comment exposition line.
+type expoSample struct {
+	name   string // metric name without the label set
+	labels string // raw label block, "" when unlabeled
+	value  float64
+}
+
+// parseExposition parses text-format exposition, enforcing line-level
+// syntax and HELP/TYPE ordering, and returns the samples plus the TYPE of
+// each family.
+func parseExposition(t *testing.T, out string) ([]expoSample, map[string]string) {
+	t.Helper()
+	var samples []expoSample
+	types := map[string]string{}
+	helps := map[string]bool{}
+	sampled := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			helps[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("comment line %q is neither HELP nor TYPE", line)
+		}
+		labels, rest := "", line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced label braces in %q", line)
+			}
+			labels, rest = line[i+1:j], line[:i]+line[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q does not split into name and value", line)
+		}
+		name := fields[0]
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("sample value in %q: %v", line, err)
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if !sampled[family] {
+			sampled[family] = true
+			if !helps[family] {
+				t.Errorf("family %s sampled before (or without) its HELP line", family)
+			}
+			if types[family] == "" {
+				t.Errorf("family %s sampled before (or without) its TYPE line", family)
+			}
+		}
+		samples = append(samples, expoSample{name: name, labels: labels, value: v})
+	}
+	return samples, types
+}
+
+// stripLe removes the le label from a bucket label set, yielding the
+// series key shared with _sum/_count.
+func stripLe(labels string) string {
+	var kept []string
+	for _, kv := range strings.Split(labels, ",") {
+		if kv != "" && !strings.HasPrefix(kv, "le=") {
+			kept = append(kept, kv)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// populatedRegistry drives a registry through every surface the exposition
+// renders: lifecycle events across classes and (hostile) relation names,
+// loader latency, and flight-recorder stage latency.
+func populatedRegistry() *Registry {
+	r := NewRegistry()
+	rels := []string{"lineitem", `back\slash`, "quo\"te", "new\nline"}
+	for i := 0; i < 10; i++ {
+		r.ShardSink(i % 2).Emit(core.Event{Kind: core.EventHit, Class: i % 3, ID: "q",
+			Size: 10, Cost: float64(i), Relations: rels[:1+i%len(rels)]})
+	}
+	r.Emit(core.Event{Kind: core.EventMissAdmitted, Class: 1, Cost: 30})
+	r.Emit(core.Event{Kind: core.EventMissRejected, Class: 0, Cost: 20})
+	r.Emit(core.Event{Kind: core.EventEvict, Class: 0, Cost: 30})
+	r.Emit(core.Event{Kind: core.EventInvalidate, Class: 2, Relations: rels[:1]})
+	r.ObserveLoad(0.0001, false)
+	r.ObserveLoad(0.02, false)
+	r.ObserveLoad(3, true)
+	for st := core.Stage(0); st < core.NumStages; st++ {
+		r.ObserveStage(st, 0.001*float64(st+1))
+		r.ObserveStage(st, 5) // lands in +Inf
+	}
+	return r
+}
+
+// TestExpositionValidity is the parser-level scrape check: it validates
+// the full populated exposition structurally rather than by substring.
+func TestExpositionValidity(t *testing.T) {
+	var b strings.Builder
+	if err := populatedRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, b.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	// Every family must declare a known type.
+	for fam, ty := range types {
+		if ty != "counter" && ty != "gauge" && ty != "histogram" {
+			t.Errorf("family %s has unknown type %q", fam, ty)
+		}
+	}
+
+	// Histogram series: buckets cumulative, +Inf == _count, _sum/_count
+	// present for every series that has buckets.
+	type seriesKey struct{ family, labels string }
+	lastBucket := map[seriesKey]float64{}
+	infBucket := map[seriesKey]float64{}
+	sums := map[seriesKey]bool{}
+	counts := map[seriesKey]float64{}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			if types[fam] != "histogram" {
+				t.Errorf("%s has buckets but type %q", fam, types[fam])
+			}
+			key := seriesKey{fam, stripLe(s.labels)}
+			if prev, seen := lastBucket[key]; seen && s.value < prev {
+				t.Errorf("series %v buckets not cumulative: %g after %g", key, s.value, prev)
+			}
+			lastBucket[key] = s.value
+			if strings.Contains(s.labels, `le="+Inf"`) {
+				infBucket[key] = s.value
+			}
+		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == "histogram":
+			sums[seriesKey{strings.TrimSuffix(s.name, "_sum"), s.labels}] = true
+		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == "histogram":
+			counts[seriesKey{strings.TrimSuffix(s.name, "_count"), s.labels}] = s.value
+		}
+	}
+	if len(lastBucket) == 0 {
+		t.Fatal("no histogram series found in a populated registry")
+	}
+	for key := range lastBucket {
+		inf, ok := infBucket[key]
+		if !ok {
+			t.Errorf("series %v has no le=\"+Inf\" bucket", key)
+			continue
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("series %v has no _count", key)
+			continue
+		}
+		if inf != cnt {
+			t.Errorf("series %v: +Inf bucket %g != count %g", key, inf, cnt)
+		}
+		if !sums[key] {
+			t.Errorf("series %v has no _sum", key)
+		}
+	}
+
+	// The stage histogram family must carry one series per lifecycle stage.
+	stageSeries := map[string]bool{}
+	for key := range lastBucket {
+		if key.family == "watchman_stage_latency_seconds" {
+			stageSeries[key.labels] = true
+		}
+	}
+	if len(stageSeries) != int(core.NumStages) {
+		t.Errorf("stage series = %v, want one per stage (%d)", stageSeries, core.NumStages)
+	}
+	for st := core.Stage(0); st < core.NumStages; st++ {
+		if want := fmt.Sprintf("stage=%q", st.String()); !stageSeries[want] {
+			t.Errorf("no stage series labeled %s", want)
+		}
+	}
+}
+
+// TestExpositionOmitsStagesWhenUntraced pins that a registry that never
+// saw a flight-recorder span renders no stage-latency family at all — the
+// exposition of an untraced process is unchanged.
+func TestExpositionOmitsStagesWhenUntraced(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(core.Event{Kind: core.EventHit, ID: "q", Size: 1, Cost: 1})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "watchman_stage_latency_seconds") {
+		t.Error("untraced exposition must not mention stage latency")
+	}
+}

@@ -87,15 +87,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if len(s.Relations) > 0 {
 		p.header("watchman_relation_cost_total", "Execution cost charged to references reading the relation.", "counter")
 		for _, rel := range s.Relations {
-			p.printf("watchman_relation_cost_total{relation=\"%s\"} %s\n", escapeLabel(rel.Relation), formatFloat(rel.CostTotal))
+			p.printf("watchman_relation_cost_total{relation=\"%s\"} %s\n", EscapeLabel(rel.Relation), formatFloat(rel.CostTotal))
 		}
 		p.header("watchman_relation_cost_saved_total", "Execution cost saved on hits reading the relation.", "counter")
 		for _, rel := range s.Relations {
-			p.printf("watchman_relation_cost_saved_total{relation=\"%s\"} %s\n", escapeLabel(rel.Relation), formatFloat(rel.CostSaved))
+			p.printf("watchman_relation_cost_saved_total{relation=\"%s\"} %s\n", EscapeLabel(rel.Relation), formatFloat(rel.CostSaved))
 		}
 		p.header("watchman_relation_invalidations_total", "Entries dropped by coherence events against the relation.", "counter")
 		for _, rel := range s.Relations {
-			p.printf("watchman_relation_invalidations_total{relation=\"%s\"} %d\n", escapeLabel(rel.Relation), rel.Invalidations)
+			p.printf("watchman_relation_invalidations_total{relation=\"%s\"} %d\n", EscapeLabel(rel.Relation), rel.Invalidations)
 		}
 	}
 
@@ -107,17 +107,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	p.header("watchman_load_latency_seconds", "Loader execution latency.", "histogram")
-	cum := int64(0)
-	for i, bound := range s.LoadLatency.Bounds {
-		cum += s.LoadLatency.Counts[i]
-		p.printf("watchman_load_latency_seconds_bucket{le=\"%s\"} %d\n", formatFloat(bound), cum)
+	p.histogram("watchman_load_latency_seconds", "", s.LoadLatency)
+
+	if len(s.Stages) > 0 {
+		p.header("watchman_stage_latency_seconds", "Reference lifecycle stage latency, from the flight recorder.", "histogram")
+		for _, st := range s.Stages {
+			p.histogram("watchman_stage_latency_seconds", fmt.Sprintf("stage=\"%s\"", EscapeLabel(st.Stage)), st.HistogramSnapshot)
+		}
 	}
-	cum += s.LoadLatency.Counts[len(s.LoadLatency.Counts)-1]
-	p.printf("watchman_load_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	p.printf("watchman_load_latency_seconds_sum %s\n", formatFloat(s.LoadLatency.Sum))
-	p.printf("watchman_load_latency_seconds_count %d\n", s.LoadLatency.Count)
 
 	return p.err
+}
+
+// histogram renders one histogram's samples — cumulative buckets, sum and
+// count — after the caller has emitted the family preamble. labels is the
+// inner label list shared by every sample ("" for none); the le label is
+// appended to it on bucket lines.
+func (p *promWriter) histogram(name, labels string, snap HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		p.printf("%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatFloat(bound), cum)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		p.printf("%s_sum %s\n%s_count %d\n", name, formatFloat(snap.Sum), name, snap.Count)
+	} else {
+		p.printf("%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, formatFloat(snap.Sum), name, labels, snap.Count)
+	}
 }
 
 // formatFloat renders a float in the shortest round-trip form Prometheus
@@ -132,5 +154,8 @@ func formatFloat(v float64) string {
 // are arbitrary client strings, so this guards the whole exposition.
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
-// escapeLabel escapes one label value for the text exposition format.
-func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+// EscapeLabel escapes one label value for the text exposition format. It
+// is exported for serving layers that interpolate their own label values
+// (the build-info gauge) so every exposition writer shares one set of
+// escaping rules.
+func EscapeLabel(s string) string { return labelEscaper.Replace(s) }

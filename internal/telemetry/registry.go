@@ -214,6 +214,11 @@ type Registry struct {
 
 	loadLatency  Histogram
 	loaderErrors atomic.Int64
+
+	// stageLatency holds one histogram per flight-recorder lifecycle stage
+	// (see core.Stage); the flight recorder feeds them from every span it
+	// observes, sampled or not, so the stage profile covers all traffic.
+	stageLatency [int(core.NumStages)]Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -266,6 +271,15 @@ func (r *Registry) ObserveLoad(seconds float64, failed bool) {
 	if failed {
 		r.loaderErrors.Add(1)
 	}
+}
+
+// ObserveStage records the wall-clock seconds one reference spent in one
+// lifecycle stage. Out-of-range stages are dropped.
+func (r *Registry) ObserveStage(stage core.Stage, seconds float64) {
+	if stage >= core.NumStages {
+		return
+	}
+	r.stageLatency[stage].Observe(seconds)
 }
 
 // RefStats is the reference accounting of one class or relation in a
@@ -333,6 +347,15 @@ func (s RefStats) HitRatio() float64 {
 	return float64(s.Hits+s.DerivedHits) / float64(s.References)
 }
 
+// StageSnapshot is one lifecycle stage's latency histogram in a Snapshot.
+type StageSnapshot struct {
+	// Stage is the stage name ("lookup", "derive", "load", "admit",
+	// "insert", "evict").
+	Stage string `json:"stage"`
+	// HistogramSnapshot is the stage's latency histogram.
+	HistogramSnapshot
+}
+
 // ClassSnapshot is one workload class's accounting.
 type ClassSnapshot struct {
 	// Class is the workload class index.
@@ -375,6 +398,9 @@ type Snapshot struct {
 	LoaderErrors int64 `json:"loader_errors"`
 	// LoadLatency is the loader execution latency histogram.
 	LoadLatency HistogramSnapshot `json:"load_latency"`
+	// Stages holds the per-stage latency histograms fed by the flight
+	// recorder, in stage order; empty when no span was ever observed.
+	Stages []StageSnapshot `json:"stages,omitempty"`
 	// Classes holds the per-class breakdown, ascending by class.
 	Classes []ClassSnapshot `json:"classes,omitempty"`
 	// Relations holds the per-relation breakdown, ascending by name.
@@ -412,6 +438,19 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		LoaderErrors: r.loaderErrors.Load(),
 		LoadLatency:  r.loadLatency.Snapshot(),
+	}
+
+	// The stage histograms appear only once a flight recorder has fed
+	// them: an untraced process keeps its snapshot (and exposition) free
+	// of six empty histogram families.
+	var stageCount int64
+	stages := make([]StageSnapshot, int(core.NumStages))
+	for st := core.Stage(0); st < core.NumStages; st++ {
+		stages[st] = StageSnapshot{Stage: st.String(), HistogramSnapshot: r.stageLatency[st].Snapshot()}
+		stageCount += stages[st].Count
+	}
+	if stageCount > 0 {
+		s.Stages = stages
 	}
 
 	domains := []*domain{&r.root}

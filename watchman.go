@@ -91,6 +91,26 @@
 // the daemon (restore on boot, POST /v1/snapshot on demand, final flush
 // on SIGTERM) and `watchman compare -restart` measures warm-vs-cold
 // restart cost savings.
+//
+// # Observability
+//
+// Every reference ends in exactly one typed lifecycle Event (Config.Sink).
+// A TelemetryRegistry aggregates events into counters, breakdowns and
+// latency histograms; a FlightRecorder additionally captures sampled
+// per-reference spans with monotonic per-stage timings and an audit ring
+// of admission/eviction decisions:
+//
+//	cache, err := watchman.NewSharded(watchman.ShardedConfig{
+//		Cache:    watchman.Config{Capacity: 1 << 30, K: 4, Policy: watchman.LNCRA},
+//		Registry: watchman.NewTelemetryRegistry(),
+//		Recorder: watchman.NewFlightRecorder(watchman.FlightConfig{SampleEvery: 64}),
+//	})
+//
+// `watchman serve -debug` surfaces the recorder over HTTP — recent spans
+// at GET /debug/requests, per-signature decision audits at
+// GET /v1/explain/{id} with the admission inequality spelled out — and
+// mounts net/http/pprof under /debug/pprof. Both hooks are nil-guarded:
+// a cache without a registry or recorder pays nothing for them.
 package watchman
 
 import (
@@ -100,6 +120,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/derive"
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
@@ -339,6 +360,81 @@ type TelemetrySnapshot = telemetry.Snapshot
 
 // NewTelemetryRegistry creates an empty telemetry registry.
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// Span is the flight-recorder record of one reference: its identity and
+// outcome, monotonic per-stage wall timings, and the decision inputs the
+// admission gate evaluated (profit, bar, θ, λ, reference depth). Spans are
+// delivered to a SpanSink installed via Config.Tracer.
+type Span = core.Span
+
+// Stage indexes one lifecycle stage of a reference Span.
+type Stage = core.Stage
+
+// The lifecycle stages a Span times, in hot-path order.
+const (
+	// StageLookup is the index probe locating the entry (or not).
+	StageLookup = core.StageLookup
+	// StageDerive is time spent consulting the semantic deriver.
+	StageDerive = core.StageDerive
+	// StageLoad is loader execution time attributed by the concurrent front.
+	StageLoad = core.StageLoad
+	// StageAdmit covers reference accounting, victim selection and the
+	// LNC-A profit comparison.
+	StageAdmit = core.StageAdmit
+	// StageInsert is the residency commit of an admitted set.
+	StageInsert = core.StageInsert
+	// StageEvict covers evicting the victim batch of an admission.
+	StageEvict = core.StageEvict
+	// NumStages is the number of lifecycle stages.
+	NumStages = core.NumStages
+)
+
+// SpanSink observes completed reference spans; install one via
+// Config.Tracer. It runs under the cache's execution context and must not
+// call back into the cache. Nil disables span capture at no hot-path cost
+// beyond a nil check.
+type SpanSink = core.SpanSink
+
+// ThresholdReporter is implemented by admitters whose rule is the
+// thresholded comparison admit ⇔ profit > θ·bar and that can report the
+// current θ; the cache stamps it onto decision events and spans so the
+// exact inequality can be reproduced after the fact.
+type ThresholdReporter = core.ThresholdReporter
+
+// FlightRecorder holds bounded per-shard ring buffers of sampled
+// reference spans (always capturing slow ones) and unconditional
+// admission/eviction decision records. Attach one via
+// ShardedConfig.Recorder; `watchman serve -debug` surfaces it at
+// GET /debug/requests and GET /v1/explain/{id}.
+type FlightRecorder = flight.Recorder
+
+// FlightConfig parameterizes a FlightRecorder: sampling ratio, slow-span
+// threshold, ring capacities and the optional telemetry registry fed with
+// per-stage latency from every span.
+type FlightConfig = flight.Config
+
+// FlightDecision is the audit record of one admission or eviction ruling:
+// the outcome and every input the gate evaluated.
+type FlightDecision = flight.Decision
+
+// NewFlightRecorder creates a flight recorder; the zero FlightConfig
+// selects every default.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return flight.New(cfg) }
+
+// RegretTracker accumulates the regret report from a cache's event
+// stream: signatures that admission rejected and that were referenced
+// again, ranked by the execution cost those re-references paid. Attach it
+// next to other sinks with MultiSink; `watchman compare -explain` prints
+// its report.
+type RegretTracker = flight.RegretTracker
+
+// Regret is the accumulated record of one rejected-then-re-referenced
+// signature.
+type Regret = flight.Regret
+
+// NewRegretTracker creates a regret tracker bounded to maxEntries
+// distinct signatures (≤ 0 selects the default bound).
+func NewRegretTracker(maxEntries int) *RegretTracker { return flight.NewRegretTracker(maxEntries) }
 
 // Snapshot is the in-memory form of one persisted cache image: one
 // CacheState per shard plus the optional adaptive admission state. Build
