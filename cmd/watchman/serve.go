@@ -37,19 +37,44 @@ import (
 // shardedFlags is the flag subset shared by serve and loadgen that shapes
 // the sharded cache.
 type shardedFlags struct {
-	policy  *string
-	shards  *int
-	k       *int
-	evictor *string
+	policy         *string
+	shards         *int
+	k              *int
+	evictor        *string
+	buffered       *bool
+	promoteBuffer  *int
+	getsPerPromote *int
 }
 
 func addShardedFlags(fs *flag.FlagSet) shardedFlags {
 	return shardedFlags{
-		policy:  fs.String("policy", "lnc-ra", "cache policy"),
-		shards:  fs.Int("shards", 16, "number of cache shards (power of two)"),
-		k:       fs.Int("k", 4, "reference-window size K"),
-		evictor: fs.String("evictor", "scan", "victim search: scan or heap"),
+		policy:         fs.String("policy", "lnc-ra", "cache policy"),
+		shards:         fs.Int("shards", 16, "number of cache shards (power of two)"),
+		k:              fs.Int("k", 4, "reference-window size K"),
+		evictor:        fs.String("evictor", "scan", "victim search: scan or heap"),
+		buffered:       fs.Bool("buffered", false, "serve hits from a lock-free index and apply recency/λ bookkeeping asynchronously (see ARCHITECTURE.md for the consistency trade)"),
+		promoteBuffer:  fs.Int("promote-buffer", 0, "buffered mode: per-shard promotion queue depth (0 = default; needs -buffered)"),
+		getsPerPromote: fs.Int("gets-per-promote", 1, "buffered mode: apply bookkeeping for 1 in N hits per entry (1 = every hit; needs -buffered)"),
 	}
+}
+
+// check rejects buffered-mode tuning flags when -buffered is off, rather
+// than silently ignoring them (same strictness as loadgen's -addr).
+func (f shardedFlags) check(fs *flag.FlagSet) error {
+	if *f.buffered {
+		return nil
+	}
+	var ignored []string
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "promote-buffer", "gets-per-promote":
+			ignored = append(ignored, "-"+fl.Name+" (needs -buffered)")
+		}
+	})
+	if len(ignored) > 0 {
+		return fmt.Errorf("%s", strings.Join(ignored, ", "))
+	}
+	return nil
 }
 
 // coreConfig resolves the flags into a per-cache configuration.
@@ -80,9 +105,12 @@ func (f shardedFlags) build(capacity int64, rec *flight.Recorder) (*shard.Sharde
 		return nil, err
 	}
 	return shard.New(shard.Config{
-		Shards:   *f.shards,
-		Cache:    cfg,
-		Recorder: rec,
+		Shards:         *f.shards,
+		Cache:          cfg,
+		Recorder:       rec,
+		Buffered:       *f.buffered,
+		PromoteBuffer:  *f.promoteBuffer,
+		GetsPerPromote: *f.getsPerPromote,
 	})
 }
 
@@ -120,6 +148,9 @@ func cmdServe(args []string) error {
 		if len(ignored) > 0 {
 			return fmt.Errorf("serve: %s", strings.Join(ignored, ", "))
 		}
+	}
+	if err := sf.check(fs); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if *flightSample < 1 {
 		return fmt.Errorf("serve: -flight-sample must be at least 1, got %d", *flightSample)
@@ -163,7 +194,17 @@ func cmdServe(args []string) error {
 			Registry:      reg,
 		})
 	}
-	sc, err := shard.New(shard.Config{Shards: *sf.shards, Cache: cfg, Tuner: tuner, Registry: reg, Deriver: deriver, Recorder: rec})
+	sc, err := shard.New(shard.Config{
+		Shards:         *sf.shards,
+		Cache:          cfg,
+		Tuner:          tuner,
+		Registry:       reg,
+		Deriver:        deriver,
+		Recorder:       rec,
+		Buffered:       *sf.buffered,
+		PromoteBuffer:  *sf.promoteBuffer,
+		GetsPerPromote: *sf.getsPerPromote,
+	})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -214,6 +255,9 @@ func cmdServe(args []string) error {
 	if tuner != nil {
 		policyDesc += " adaptive"
 	}
+	if *sf.buffered {
+		policyDesc += " buffered"
+	}
 	if deriver != nil {
 		policyDesc += " +derive"
 	}
@@ -238,6 +282,11 @@ func cmdServe(args []string) error {
 	defer cancel()
 	fmt.Fprintln(os.Stderr, "watchman: shutting down")
 	err = srv.Shutdown(shutCtx)
+	// Flush the buffered hit applications before the final snapshot: once
+	// the listener has drained, no new references arrive, so Close leaves
+	// every deferred promotion applied and the export below captures the
+	// same state a fully quiesced cache would. No-op when not -buffered.
+	sc.Close()
 	if snapshotter != nil {
 		// Final flush after the listener drains: everything learned since
 		// the last periodic snapshot survives the SIGTERM.
@@ -280,6 +329,9 @@ func cmdLoadgen(args []string) error {
 	if *slowlog < 0 {
 		return fmt.Errorf("loadgen: negative -slowlog %d", *slowlog)
 	}
+	if err := sf.check(fs); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
 	if *addr != "" {
 		if *compareSerial {
 			return fmt.Errorf("loadgen: -compare-serial needs the in-process cache; drop -addr")
@@ -290,7 +342,8 @@ func cmdLoadgen(args []string) error {
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "policy", "shards", "k", "evictor", "cache-pct", "cache-bytes":
+			case "policy", "shards", "k", "evictor", "cache-pct", "cache-bytes",
+				"buffered", "promote-buffer", "gets-per-promote":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
@@ -373,12 +426,19 @@ func cmdLoadgen(args []string) error {
 	t.AddRow("throughput (refs/s)", fmt.Sprintf("%.0f", float64(tr.Len())/elapsed.Seconds()))
 	t.AddRow("client-observed hits", fmt.Sprint(hits))
 	if sc != nil {
+		// Buffered mode: apply every queued promotion before reading stats,
+		// so the numbers below describe the whole replay (no-op otherwise).
+		sc.Drain()
 		st := sc.Stats()
 		t.AddRow("cost savings ratio", metrics.Ratio(st.CostSavingsRatio()))
 		t.AddRow("hit ratio", metrics.Ratio(st.HitRatio()))
 		t.AddRow("admissions", fmt.Sprint(st.Admissions))
 		t.AddRow("evictions", fmt.Sprint(st.Evictions))
 		t.AddRow("resident sets", fmt.Sprint(sc.Resident()))
+		if *sf.buffered {
+			t.AddRow("buffered hits", fmt.Sprint(st.BufferedHits))
+			t.AddRow("promotions shed", fmt.Sprint(st.PromotesSkipped))
+		}
 		if *compareSerial {
 			// Same configuration as each shard, minus the sharding.
 			cfg, err := sf.coreConfig(capacity)

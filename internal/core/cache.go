@@ -425,6 +425,27 @@ func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 	return e.Payload
 }
 
+// ApplyHit charges a hit whose payload was already served elsewhere — the
+// buffered shard front answers hits from a lock-free read index and
+// defers the bookkeeping here, applied in batches under the shard lock.
+// Unlike ReferenceEntry it charges the referencing request's cost rather
+// than the entry's stored cost, so a deferred application is bit-identical
+// to the serial Reference hit path. t is the reference's original logical
+// time; tick's clamp tolerates the out-of-order timestamps a queue
+// introduces (time never runs backwards, late applications charge at the
+// current clock). queueNanos, when positive, is attributed to StageApply:
+// the time the promotion spent queued between the lock-free hit and its
+// application.
+func (c *Cache) ApplyHit(e *Entry, t float64, class int, cost float64, queueNanos int64) {
+	now := c.tick(t, cost)
+	c.spanBegin(e.ID, class, e.Size, cost, now)
+	c.spanCharge(StageApply, queueNanos)
+	c.spanStage(StageLookup) // the front's lock-free probe located the entry
+	c.chargeHit(e, cost, class, now)
+	c.spanEntry(e, now)
+	c.spanFinish(EventHit)
+}
+
 // Account charges one reference into Stats without running the lookup or
 // admission stages of the lifecycle. hit reports how the reference was
 // served: true charges a cache hit resolved elsewhere (cost saved, bytes

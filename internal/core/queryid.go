@@ -32,6 +32,17 @@ func isDelimiter(b byte) bool {
 // leading/trailing delimiters. Two query strings that differ only in
 // whitespace or punctuation spacing therefore map to the same ID.
 func CompressID(query string) string {
+	// Already-canonical strings (no delimiter bytes anywhere — the
+	// separator itself is not a delimiter) compress to themselves; return
+	// the input without allocating so hot paths can pass precompressed IDs
+	// through for free.
+	i := 0
+	for i < len(query) && !isDelimiter(query[i]) {
+		i++
+	}
+	if i == len(query) {
+		return query
+	}
 	var b strings.Builder
 	b.Grow(len(query))
 	pendingSep := false

@@ -20,6 +20,13 @@ var spanEpoch = time.Now()
 // process start (strictly: since package initialization).
 func monotonicNanos() int64 { return int64(time.Since(spanEpoch)) }
 
+// MonotonicNanos exposes the span clock to callers that attribute
+// externally measured durations to a stage — the buffered shard front
+// stamps promotions at enqueue time and charges the queue delay to
+// StageApply when the worker applies them. Comparable only with other
+// readings from the same process.
+func MonotonicNanos() int64 { return monotonicNanos() }
+
 // Stage indexes one lifecycle stage of a reference span. The stages are
 // the named steps of the reference lifecycle; a span accumulates wall
 // nanoseconds per stage as the reference moves through them.
@@ -43,6 +50,10 @@ const (
 	StageInsert
 	// StageEvict covers evicting the victim batch of an admission.
 	StageEvict
+	// StageApply is the deferred-application stage of the buffered hit
+	// path: the time a promotion spent queued between the lock-free hit
+	// and the shard worker charging its recency/λ bookkeeping.
+	StageApply
 
 	// NumStages is the number of stages; keep last.
 	NumStages
@@ -63,6 +74,8 @@ func (s Stage) String() string {
 		return "insert"
 	case StageEvict:
 		return "evict"
+	case StageApply:
+		return "apply"
 	default:
 		return "unknown"
 	}

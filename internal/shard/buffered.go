@@ -1,0 +1,450 @@
+package shard
+
+// Buffered mode: the contention-free hit path.
+//
+// With Config.Buffered set, each shard answers hits from a lock-free read
+// index (a sync.Map shadowing the core cache's resident set) instead of
+// taking the shard mutex, and defers the WATCHMAN bookkeeping a hit
+// normally performs under the lock — the LNC reference-window record, the
+// λ re-estimation, the evictor touch — onto a bounded per-shard promotion
+// queue. A per-shard worker drains the queue and applies the promotions in
+// batches through core.Cache.ApplyHit, one lock acquisition per batch.
+// This is the ccache deferred-bookkeeping idiom (promoteBuffer /
+// deleteBuffer / getsPerPromote) adapted to the cache-of-retrieved-sets
+// shape: λ-estimation tolerates slightly-deferred reference timestamps
+// (core's clock clamp absorbs out-of-order applications), so deferral
+// changes no admission or eviction decision once the queue drains.
+//
+// Counting is never deferred. The moment a lock-free hit is served, its
+// reference, hit, cost and bytes land in per-shard atomic "deferred
+// cells"; when the worker applies the promotion it settles the same
+// amounts out of the cells and into the core counters under the shard
+// lock. Stats reads both sides under that lock, so every buffered hit is
+// counted in exactly one place at any instant — a full promote buffer
+// sheds only the recency/λ signal (counted in PromotesSkipped), never a
+// reference.
+//
+// Consistency caveats of the deferred model, in exchange for the
+// throughput:
+//
+//   - Recency/λ updates lag by the queue depth. Drain() is the barrier:
+//     after it returns, every promotion enqueued before the call has been
+//     applied and the cache is bit-identical to a serial replay of the
+//     same references (the golden-equivalence tests assert exactly this).
+//   - A hit may be served from the read index in the instant between an
+//     invalidation's index purge and its own enqueue; its application then
+//     falls back to plain hit accounting (the entry is gone). The payload
+//     served is the one that was resident when the probe ran — the same
+//     window the locked path has between its lookup and the invalidation
+//     sweep reaching that shard.
+//   - Hits shed under pressure (PromotesSkipped / PromotesSampled) never
+//     reach the telemetry registry's event stream; registry counters lag
+//     Stats by exactly those sheds.
+//
+// Invalidation, snapshot export and Close all drain before acting, so
+// coherence events and persisted images always see fully-applied state.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DefaultPromoteBuffer is the per-shard promotion queue depth used when
+// Config.PromoteBuffer is zero.
+const DefaultPromoteBuffer = 1024
+
+// DefaultDeleteBuffer is the per-shard maintenance queue depth used when
+// Config.DeleteBuffer is zero.
+const DefaultDeleteBuffer = 64
+
+// applyBatchSize bounds how many promotions one worker batch applies under
+// a single lock acquisition.
+const applyBatchSize = 256
+
+// readEntry is one read-index record: an immutable snapshot of the fields
+// the lock-free hit path needs, taken under the shard lock when the entry
+// was admitted or restored. The *core.Entry pointer is held for identity
+// only — the worker compares it against the resident entry under the lock
+// before touching it; entry fields are never read lock-free (insert may
+// rewrite Relations, Size and Cost when a retained entry is re-admitted).
+type readEntry struct {
+	entry *core.Entry
+	sig   uint64
+	// payload, size, cost, class and relations are copies made at
+	// admission, safe to read without the lock.
+	payload   any
+	size      int64
+	cost      float64
+	class     int
+	relations []string
+	// gets counts lock-free hits for GetsPerPromote sampling.
+	gets atomic.Uint32
+}
+
+// promotion is one deferred hit application, passed by value on the
+// promote channel. cost is the referencing request's cost (the serial hit
+// path charges the request's cost, not the entry's stored one). enqueued
+// is a core.MonotonicNanos stamp, zero when no flight recorder is
+// attached; the worker charges the queue delay to StageApply.
+type promotion struct {
+	re       *readEntry
+	time     float64
+	class    int
+	cost     float64
+	enqueued int64
+}
+
+// bufOp is one maintenance operation on the delete buffer: a drain barrier
+// (done is closed once every promotion enqueued before the op has been
+// applied) and, for Close, the worker stop signal. Unlike promotions these
+// are never dropped — a full buffer blocks the producer.
+type bufOp struct {
+	done chan struct{}
+	stop bool
+}
+
+// atomicFloat accumulates a float64 with compare-and-swap; the deferred
+// cost cell the lock-free hit path charges.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// shardBuffers is one shard's buffered-mode state; nil on the shard when
+// buffering is off.
+type shardBuffers struct {
+	// index maps canonical query ID -> *readEntry for every resident
+	// entry. Mutated only under the shard lock (by indexSink, riding the
+	// core's event stream), read lock-free by the hit path — so under the
+	// lock it is always exactly the resident set.
+	index   sync.Map
+	promote chan promotion
+	ops     chan bufOp
+	// stopped is closed when the worker exits; barrier producers fall back
+	// to inline flushing once it is.
+	stopped chan struct{}
+	// pending counts promotions enqueued but not yet applied.
+	pending atomic.Int64
+	// batch is the worker-owned apply scratch; reused so the steady-state
+	// apply path allocates nothing.
+	batch []promotion
+
+	// Deferred cells: counts charged at hit time and settled into the core
+	// counters (under the shard lock) when the promotion is applied. hits
+	// feeds both References and Hits, cost both CostTotal and CostSaved —
+	// for a hit the increments coincide.
+	hits  atomic.Int64
+	bytes atomic.Int64
+	cost  atomicFloat
+
+	// Monotone honesty counters.
+	fastHits atomic.Int64
+	skipped  atomic.Int64
+	sampled  atomic.Int64
+}
+
+// indexSink maintains the read index from the core's lifecycle events. It
+// runs under the owning shard's mutex (the core's execution context), so
+// index mutations are atomic with the residency changes they mirror.
+type indexSink struct{ buf *shardBuffers }
+
+// Emit implements core.EventSink.
+func (k indexSink) Emit(ev core.Event) {
+	switch ev.Kind {
+	case core.EventMissAdmitted, core.EventRestore:
+		e := ev.Entry
+		if e == nil {
+			return
+		}
+		k.buf.index.Store(e.ID, &readEntry{
+			entry:     e,
+			sig:       core.Signature(e.ID),
+			payload:   e.Payload,
+			size:      e.Size,
+			cost:      e.Cost,
+			class:     e.Class,
+			relations: append([]string(nil), e.Relations...),
+		})
+	case core.EventEvict, core.EventInvalidate:
+		k.buf.index.Delete(ev.ID)
+	}
+}
+
+// fastHit charges one lock-free hit: the deferred cells immediately, and a
+// promotion for the bookkeeping — sampled by GetsPerPromote, dropped (and
+// counted) when the promote buffer is full. Never blocks, never allocates.
+func (s *Sharded) fastHit(sh *shard, re *readEntry, t float64, class int, cost float64) {
+	b := sh.buf
+	b.fastHits.Add(1)
+	b.hits.Add(1)
+	b.bytes.Add(re.size)
+	b.cost.add(cost)
+	if s.getsPerPromote > 1 && re.gets.Add(1)%uint32(s.getsPerPromote) != 0 {
+		b.sampled.Add(1)
+		return
+	}
+	var enq int64
+	if s.rec != nil {
+		enq = core.MonotonicNanos()
+	}
+	b.pending.Add(1)
+	select {
+	case b.promote <- promotion{re: re, time: t, class: class, cost: cost, enqueued: enq}:
+	default:
+		b.pending.Add(-1)
+		b.skipped.Add(1)
+	}
+}
+
+// worker is the per-shard apply loop: it owns the shard's serial core for
+// deferred bookkeeping, draining promotions in batches (one lock
+// acquisition per batch) and serving barrier/stop ops from the delete
+// buffer — which always flush every queued promotion first.
+func (s *Sharded) worker(sh *shard) {
+	b := sh.buf
+	defer s.workerWG.Done()
+	defer close(b.stopped)
+	for {
+		select {
+		case p := <-b.promote:
+			b.batch = append(b.batch[:0], p)
+		fill:
+			for len(b.batch) < cap(b.batch) {
+				select {
+				case q := <-b.promote:
+					b.batch = append(b.batch, q)
+				default:
+					break fill
+				}
+			}
+			s.applyBatch(sh, b.batch)
+		case op := <-b.ops:
+			s.flushPromotes(sh, b.batch[:0])
+			if op.done != nil {
+				close(op.done)
+			}
+			if op.stop {
+				// Serve barriers that raced the shutdown before exiting;
+				// anything arriving later falls back to inline flushing via
+				// the stopped channel.
+				for {
+					select {
+					case o := <-b.ops:
+						s.flushPromotes(sh, b.batch[:0])
+						if o.done != nil {
+							close(o.done)
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// flushPromotes applies every promotion queued at the time of the call,
+// batching through the provided scratch space (which must have non-zero
+// capacity). Safe for concurrent flushers: each promotion is received by
+// exactly one, and application runs under the shard lock.
+func (s *Sharded) flushPromotes(sh *shard, batch []promotion) {
+	for {
+		batch = batch[:0]
+	fill:
+		for len(batch) < cap(batch) {
+			select {
+			case p := <-sh.buf.promote:
+				batch = append(batch, p)
+			default:
+				break fill
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		s.applyBatch(sh, batch)
+	}
+}
+
+// applyBatch settles one batch of promotions into the shard's core under a
+// single lock acquisition. Each promotion whose entry is still the
+// resident one gets the full hit bookkeeping via ApplyHit; entries that
+// departed in the meantime (evicted, invalidated, or re-admitted with a
+// different shape) fall back to plain hit accounting — the payload was
+// already served, so the reference must still count. Either way the
+// amounts charged at hit time are settled out of the deferred cells while
+// the lock is held, so Stats (which reads both sides under the same lock)
+// sees every reference in exactly one place.
+func (s *Sharded) applyBatch(sh *shard, batch []promotion) {
+	if len(batch) == 0 {
+		return
+	}
+	var hits, bytes int64
+	var cost float64
+	sh.mu.Lock()
+	for i := range batch {
+		p := &batch[i]
+		var qns int64
+		if p.enqueued != 0 {
+			qns = core.MonotonicNanos() - p.enqueued
+		}
+		e := p.re.entry
+		if cur, ok := sh.cache.LookupCanonical(e.ID, p.re.sig); ok && cur == e && e.Size == p.re.size {
+			sh.cache.ApplyHit(e, p.time, p.class, p.cost, qns)
+		} else {
+			sh.cache.Account(core.Request{QueryID: e.ID, Time: p.time, Class: p.class,
+				Size: p.re.size, Cost: p.cost, Relations: p.re.relations}, true)
+		}
+		hits++
+		bytes += p.re.size
+		cost += p.cost
+	}
+	sh.buf.hits.Add(-hits)
+	sh.buf.bytes.Add(-bytes)
+	sh.buf.cost.add(-cost)
+	sh.mu.Unlock()
+	sh.buf.pending.Add(-int64(len(batch)))
+	if sh.profile != nil {
+		for i := range batch {
+			p := &batch[i]
+			sh.observe(s.tuner, p.re.entry.ID, p.re.sig, p.re.size, p.cost, p.time, p.re.relations)
+		}
+	}
+}
+
+// drainShard is the per-shard barrier: it returns once every promotion
+// enqueued before the call has been applied. While the worker runs, the
+// barrier travels through the delete buffer (the worker flushes the
+// promote buffer before acknowledging); once the worker has stopped, the
+// caller flushes inline.
+func (s *Sharded) drainShard(sh *shard) {
+	if sh.buf == nil {
+		return
+	}
+	op := bufOp{done: make(chan struct{})}
+	select {
+	case sh.buf.ops <- op:
+		select {
+		case <-op.done:
+			return
+		case <-sh.buf.stopped:
+		}
+	case <-sh.buf.stopped:
+	}
+	s.flushPromotes(sh, make([]promotion, 0, applyBatchSize))
+}
+
+// Drain blocks until every promotion enqueued before the call has been
+// applied to its shard's core. It is the deterministic synchronization
+// point for buffered mode: after Drain, Stats and the cache image are
+// bit-identical to a serial application of the same references. A no-op
+// when buffering is off.
+func (s *Sharded) Drain() {
+	for _, sh := range s.shards {
+		s.drainShard(sh)
+	}
+}
+
+// PendingApplies reports how many promotions are enqueued but not yet
+// applied across all shards — zero right after Drain, and always zero when
+// buffering is off.
+func (s *Sharded) PendingApplies() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		if sh.buf != nil {
+			n += sh.buf.pending.Load()
+		}
+	}
+	return n
+}
+
+// Close flushes every buffer and stops the per-shard apply workers. The
+// cache remains fully usable afterwards — references simply take the
+// locked path, exactly as with Buffered off — so a graceful shutdown can
+// Close the workers before the final snapshot flush. Idempotent, and a
+// no-op when buffering is off.
+func (s *Sharded) Close() {
+	if !s.buffered || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range s.shards {
+		op := bufOp{done: make(chan struct{}), stop: true}
+		select {
+		case sh.buf.ops <- op:
+			select {
+			case <-op.done:
+			case <-sh.buf.stopped:
+			}
+		case <-sh.buf.stopped:
+		}
+	}
+	s.workerWG.Wait()
+	// Catch promotions from fast-path callers that raced the shutoff: the
+	// workers are gone, so flush inline. Anything enqueued after THIS
+	// stays queued, but its counts live in the deferred cells — no
+	// reference is ever lost — and any later Drain/ExportState flushes it.
+	for _, sh := range s.shards {
+		s.flushPromotes(sh, make([]promotion, 0, applyBatchSize))
+	}
+}
+
+// statsLocked returns the shard's core counters with the deferred cells
+// folded in. The caller holds sh.mu; applyBatch settles the cells under
+// the same lock, so every buffered hit is counted in exactly one of the
+// two places this reads.
+func (sh *shard) statsLocked() core.Stats {
+	st := sh.cache.Stats()
+	if sh.buf != nil {
+		h := sh.buf.hits.Load()
+		st.References += h
+		st.Hits += h
+		c := sh.buf.cost.load()
+		st.CostTotal += c
+		st.CostSaved += c
+		st.BytesServed += sh.buf.bytes.Load()
+	}
+	return st
+}
+
+// checkIndexLocked verifies the read index mirrors the resident set
+// exactly. The caller holds sh.mu, under which the index and the core
+// mutate atomically — so this invariant holds at any instant, not only at
+// quiesce.
+func (sh *shard) checkIndexLocked() error {
+	if sh.buf == nil {
+		return nil
+	}
+	var err error
+	count := 0
+	sh.buf.index.Range(func(k, v any) bool {
+		id := k.(string)
+		re := v.(*readEntry)
+		cur, ok := sh.cache.LookupCanonical(id, re.sig)
+		if !ok {
+			err = fmt.Errorf("read index holds %q which is not resident", id)
+			return false
+		}
+		if cur != re.entry {
+			err = fmt.Errorf("read index entry for %q is not the resident entry", id)
+			return false
+		}
+		count++
+		return true
+	})
+	if err == nil && count != sh.cache.Resident() {
+		err = fmt.Errorf("read index has %d entries, %d resident", count, sh.cache.Resident())
+	}
+	return err
+}

@@ -1,0 +1,524 @@
+package shard
+
+// The buffered-mode test battery: golden equivalence against the serial
+// core (the buffered path must change nothing observable once drained),
+// deterministic drain/pending harness, a -race hammer over the full API
+// surface, zero-allocation proofs for the hit path, and the
+// snapshot-flushes-buffers guarantee. None of these tests sleep: Drain()
+// and PendingApplies() are the synchronization points, and stalling the
+// worker deterministically is done by holding the shard mutex it applies
+// under.
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// zeroClock keeps zero-valued request times at zero, so a buffered replay
+// sees exactly the timestamps a serial core.Cache replay sees.
+func zeroClock() float64 { return 0 }
+
+// goldenTraces builds the three equivalence workloads: TPC-D, multiclass
+// and drilldown.
+func goldenTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	out := make(map[string]*trace.Trace)
+	_, tr, err := workload.StandardTPCD(0, workload.Config{Queries: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["tpcd"] = tr
+	_, tr, err = workload.GenerateMulticlass(0, workload.MulticlassConfig{Config: workload.Config{Queries: 4000, Seed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["multiclass"] = tr
+	_, tr, err = workload.StandardDrilldown(0, workload.Config{Queries: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["drilldown"] = tr
+	return out
+}
+
+// traceReq builds the identical request both the serial and the buffered
+// replays submit for one trace record.
+func traceReq(rec *trace.Record) core.Request {
+	return core.Request{
+		QueryID:   rec.QueryID,
+		Time:      rec.Time,
+		Class:     rec.Class,
+		Size:      rec.Size,
+		Cost:      rec.Cost,
+		Relations: rec.Relations,
+	}
+}
+
+// TestBufferedGoldenEquivalence replays each golden trace serially through
+// one core.Cache and through a single-shard buffered cache with a drain
+// barrier after every reference, and requires every Stats counter — float
+// cost accumulators included — to be bit-identical: with the queue drained
+// at each step, deferred application must be indistinguishable from the
+// serial hit path. A second variant drains only once at the end, where the
+// deferred reference-window updates may shift a few admission decisions,
+// and bounds the cost-savings-ratio drift at 0.005.
+func TestBufferedGoldenEquivalence(t *testing.T) {
+	for name, tr := range goldenTraces(t) {
+		t.Run(name, func(t *testing.T) {
+			capacity := sim.CacheBytesForFraction(tr, 1)
+			ccfg := core.Config{Capacity: capacity, K: 4, Policy: core.LNCRA}
+			serial, err := core.New(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tr.Records {
+				serial.Reference(traceReq(&tr.Records[i]))
+			}
+
+			s := newSharded(t, Config{Shards: 1, Cache: ccfg, Buffered: true, Now: zeroClock})
+			defer s.Close()
+			for i := range tr.Records {
+				s.Reference(traceReq(&tr.Records[i]))
+				s.Drain()
+			}
+			if n := s.PendingApplies(); n != 0 {
+				t.Fatalf("%d promotions pending after drain", n)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			got, want := s.Stats().Stats, serial.Stats()
+			if got != want {
+				t.Errorf("drain-barrier replay diverged from serial core:\n got  %+v\n want %+v", got, want)
+			}
+			if s.Stats().BufferedHits != want.Hits {
+				t.Errorf("served %d hits lock-free, serial saw %d hits", s.Stats().BufferedHits, want.Hits)
+			}
+
+			// End-drain variant: fresh instance, no barriers until the end.
+			e := newSharded(t, Config{Shards: 1, Cache: ccfg, Buffered: true, Now: zeroClock})
+			defer e.Close()
+			for i := range tr.Records {
+				e.Reference(traceReq(&tr.Records[i]))
+			}
+			e.Drain()
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			est := e.Stats()
+			if est.References != int64(len(tr.Records)) {
+				t.Fatalf("end-drain replay counted %d of %d references", est.References, len(tr.Records))
+			}
+			if d := math.Abs(est.CostSavingsRatio() - want.CostSavingsRatio()); d > 0.005 {
+				t.Errorf("end-drain CSR %.5f vs serial %.5f: drifted by %.5f > 0.005",
+					est.CostSavingsRatio(), want.CostSavingsRatio(), d)
+			}
+			t.Logf("CSR serial %.5f, drain-barrier %.5f, end-drain %.5f (skipped %d, sampled %d)",
+				want.CostSavingsRatio(), got.CostSavingsRatio(), est.CostSavingsRatio(),
+				est.PromotesSkipped, est.PromotesSampled)
+		})
+	}
+}
+
+// TestBufferedThetaEquivalence replays the TPC-D trace through a locked
+// and a buffered single-shard cache with identical adaptive tuners (drain
+// barrier after every reference), runs one synchronous tuning round on
+// each, and requires bit-identical thresholds: with barriers, the buffered
+// worker feeds the admission profile the exact sample sequence the locked
+// path records.
+func TestBufferedThetaEquivalence(t *testing.T) {
+	_, tr, err := workload.StandardTPCD(0, workload.Config{Queries: 3000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := sim.CacheBytesForFraction(tr, 1)
+	build := func(buffered bool) (*Sharded, *admission.Tuner) {
+		// A window larger than the trace keeps async rounds from firing;
+		// the single TuneOnce below is the only θ update on either side.
+		tuner, err := admission.New(admission.Config{Capacity: capacity, K: 4, Window: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSharded(t, Config{
+			Shards: 1,
+			Cache:  core.Config{Capacity: capacity, K: 4, Policy: core.LNCRA},
+			Tuner:  tuner, Buffered: buffered, Now: zeroClock,
+		})
+		return s, tuner
+	}
+	locked, ltuner := build(false)
+	buffered, btuner := build(true)
+	defer buffered.Close()
+	for i := range tr.Records {
+		req := traceReq(&tr.Records[i])
+		locked.Reference(req)
+		buffered.Reference(req)
+		buffered.Drain()
+	}
+	lround, lok := ltuner.TuneOnce()
+	bround, bok := btuner.TuneOnce()
+	if lok != bok {
+		t.Fatalf("tuning round fired on one side only: locked %v, buffered %v", lok, bok)
+	}
+	if lt, bt := ltuner.Threshold(), btuner.Threshold(); lt != bt {
+		t.Errorf("θ diverged: locked %v, buffered %v (rounds %+v vs %+v)", lt, bt, lround, bround)
+	}
+}
+
+// TestBufferedDrainDeterministic pins the drain harness: holding the shard
+// mutex stalls the apply worker (it applies under that mutex), so enqueued
+// promotions stay observably pending — no sleeps, no racing the worker —
+// and Drain is the exact barrier that retires them.
+func TestBufferedDrainDeterministic(t *testing.T) {
+	s := newSharded(t, Config{
+		Shards:   1,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	defer s.Close()
+	s.Reference(core.Request{QueryID: "hot", Time: 1, Size: 256, Cost: 50})
+
+	sh := s.shards[0]
+	sh.mu.Lock()
+	const hits = 50
+	for i := 0; i < hits; i++ {
+		if ok, _ := s.Reference(core.Request{QueryID: "hot", Time: float64(i + 2), Size: 256, Cost: 50}); !ok {
+			sh.mu.Unlock()
+			t.Fatalf("hit %d missed on the lock-free path", i)
+		}
+	}
+	if n := s.PendingApplies(); n != hits {
+		sh.mu.Unlock()
+		t.Fatalf("stalled worker: %d pending, want %d", n, hits)
+	}
+	// The counts are already visible while every application is pending —
+	// read the deferred cells directly (Stats would block on the mutex we
+	// hold to stall the worker).
+	if h := sh.buf.hits.Load(); h != hits {
+		sh.mu.Unlock()
+		t.Fatalf("deferred cells hold %d hits while stalled, want %d", h, hits)
+	}
+	sh.mu.Unlock()
+
+	s.Drain()
+	if n := s.PendingApplies(); n != 0 {
+		t.Fatalf("%d pending after drain", n)
+	}
+	st := s.Stats()
+	if st.References != hits+1 || st.Hits != hits || st.BufferedHits != hits {
+		t.Fatalf("post-drain stats: %d references, %d hits, %d buffered; want %d, %d, %d",
+			st.References, st.Hits, st.BufferedHits, hits+1, hits, hits)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain and PendingApplies are no-ops on an unbuffered cache.
+	u := newSharded(t, Config{Shards: 1, Cache: core.Config{Capacity: 1 << 20, K: 2}})
+	u.Drain()
+	if u.PendingApplies() != 0 {
+		t.Fatal("unbuffered cache reports pending applies")
+	}
+}
+
+// TestBufferedClose verifies Close drains everything, is idempotent, and
+// leaves a fully usable cache behind on the locked path.
+func TestBufferedClose(t *testing.T) {
+	s := newSharded(t, Config{
+		Shards:   2,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	s.Reference(core.Request{QueryID: "hot", Time: 1, Size: 256, Cost: 50})
+	for i := 0; i < 20; i++ {
+		s.Reference(core.Request{QueryID: "hot", Time: float64(i + 2), Size: 256, Cost: 50})
+	}
+	s.Close()
+	s.Close() // idempotent
+	if n := s.PendingApplies(); n != 0 {
+		t.Fatalf("%d pending after close", n)
+	}
+	before := s.Stats().BufferedHits
+	hit, _ := s.Reference(core.Request{QueryID: "hot", Time: 100, Size: 256, Cost: 50})
+	if !hit {
+		t.Fatal("post-close reference missed")
+	}
+	if s.Stats().BufferedHits != before {
+		t.Fatal("post-close reference took the lock-free path")
+	}
+	st := s.Stats()
+	if st.References != 22 || st.Hits != 21 {
+		t.Fatalf("post-close stats: %d references, %d hits; want 22, 21", st.References, st.Hits)
+	}
+	s.Drain() // inline flush path, still a no-op error-free
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferedHammer is the -race battery: 32 goroutines mixing lock-free
+// references, singleflight loads, invalidations, snapshots and state
+// exports against the buffered path. After the final drain every invariant
+// must hold and every reference must be counted exactly once — References
+// is compared against a client-side tally, so a lost or double-counted
+// reference fails the test no matter which internal path served it.
+func TestBufferedHammer(t *testing.T) {
+	loader := func(req core.Request) (any, int64, float64, error) {
+		return "payload:" + req.QueryID, 512, 100, nil
+	}
+	s := newSharded(t, Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 1 << 22, K: 2, Policy: core.LNCRA},
+		Loader: loader, Buffered: true, Now: logical(),
+		// A small promote buffer on purpose: the hammer must shed some
+		// promotions and still account for every reference.
+		PromoteBuffer: 64,
+	})
+	defer s.Close()
+
+	const workers = 32
+	const perWorker = 500
+	var refs atomic.Int64
+	var wg sync.WaitGroup
+	rels := []string{"r0", "r1", "r2"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch {
+				case i%97 == 13:
+					s.Invalidate(rels[i%len(rels)])
+				case i%113 == 17:
+					_ = s.Snapshot(io.Discard)
+				case i%131 == 19:
+					_ = s.ExportState()
+				case i%7 == 0:
+					if _, _, err := s.Load(core.Request{QueryID: loadID(w, i), Relations: rels[:1+i%3]}); err != nil {
+						t.Error(err)
+					}
+					refs.Add(1)
+				default:
+					s.Reference(core.Request{QueryID: hotID(w, i), Size: 256, Cost: 50, Relations: rels[i%len(rels) : 1+i%len(rels)]})
+					refs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Drain()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.References != refs.Load() {
+		t.Fatalf("counted %d references, clients submitted %d (lost or double-counted)", st.References, refs.Load())
+	}
+	if st.PendingApplies != 0 {
+		t.Fatalf("%d applies pending after drain", st.PendingApplies)
+	}
+	// Quiesced now: two consecutive snapshots must encode identically.
+	var a, b bytes.Buffer
+	if err := s.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("consecutive quiesced snapshots differ")
+	}
+	t.Logf("references %d, hits %d, buffered %d, skipped %d, loader calls %d, coalesced %d",
+		st.References, st.Hits, st.BufferedHits, st.PromotesSkipped, st.LoaderCalls, st.Coalesced)
+}
+
+// hotID and loadID build a small hot set (lock-free hits) and a wider
+// load-path key space; precomputed patterns keep the hammer allocation
+// noise out of the interesting paths.
+var hotIDs, loadIDs = func() ([]string, []string) {
+	hot := make([]string, 64)
+	for i := range hot {
+		hot[i] = core.CompressID("hot query " + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+	}
+	ld := make([]string, 256)
+	for i := range ld {
+		ld[i] = core.CompressID("load query " + string(rune('a'+i%16)) + string(rune('a'+(i/16)%16)))
+	}
+	return hot, ld
+}()
+
+func hotID(w, i int) string  { return hotIDs[(w*31+i)%len(hotIDs)] }
+func loadID(w, i int) string { return loadIDs[(w*17+i)%len(loadIDs)] }
+
+// TestBufferedHitPathAllocs proves the lock-free hit path allocates
+// nothing — index probe, deferred cells, promotion enqueue included — and
+// pins the flight-recorder-detached locked path's zero-allocation
+// guarantee (previously only a benchmark observation) as a test. Both
+// rely on CompressID's canonical-input fast path, also covered here.
+func TestBufferedHitPathAllocs(t *testing.T) {
+	id := core.CompressID("hot query 1")
+	if core.CompressID(id) != id {
+		t.Fatal("canonical ID did not round-trip")
+	}
+
+	s := newSharded(t, Config{
+		Shards:   1,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	defer s.Close()
+	s.Reference(core.Request{QueryID: id, Time: 1, Size: 256, Cost: 50})
+	for i := 0; i < 200; i++ { // settle the sync.Map read path
+		s.Reference(core.Request{QueryID: id, Time: 2, Size: 256, Cost: 50})
+	}
+	s.Drain()
+	req := core.Request{QueryID: id, Time: 3, Size: 256, Cost: 50}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if hit, _ := s.Reference(req); !hit {
+			t.Fatal("lock-free reference missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("buffered hit path allocates %.1f per reference, want 0", allocs)
+	}
+
+	// Locked path, flight recorder detached: also allocation-free.
+	u := newSharded(t, Config{
+		Shards: 1,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Now:    zeroClock,
+	})
+	u.Reference(core.Request{QueryID: id, Time: 1, Size: 256, Cost: 50})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if hit, _ := u.Reference(req); !hit {
+			t.Fatal("locked reference missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("recorder-detached locked hit path allocates %.1f per reference, want 0", allocs)
+	}
+}
+
+// TestBufferedSnapshotFlushesPending pins the satellite fix: ExportState
+// must flush the promote buffer before capturing a shard, so a snapshot
+// taken mid-traffic (pending applications queued) is byte-identical to one
+// taken after an explicit quiesce. The worker is stalled by holding the
+// shard mutex, making "mid-traffic" deterministic.
+func TestBufferedSnapshotFlushesPending(t *testing.T) {
+	s := newSharded(t, Config{
+		Shards:   1,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	defer s.Close()
+	const entries = 8
+	ids := make([]string, entries)
+	for i := range ids {
+		ids[i] = core.CompressID("snap query " + string(rune('a'+i)))
+		s.Reference(core.Request{QueryID: ids[i], Time: float64(i + 1), Size: 512, Cost: 80})
+	}
+	s.Drain()
+
+	sh := s.shards[0]
+	sh.mu.Lock()
+	const hits = 30
+	for i := 0; i < hits; i++ {
+		s.Reference(core.Request{QueryID: ids[i%entries], Time: float64(100 + i), Size: 512, Cost: 80})
+	}
+	if n := s.PendingApplies(); n != hits {
+		sh.mu.Unlock()
+		t.Fatalf("stalled worker: %d pending, want %d", n, hits)
+	}
+	snapCh := make(chan *persist.Snapshot, 1)
+	go func() { snapCh <- s.ExportState() }() // blocks on the drain barrier
+	sh.mu.Unlock()
+	snap := <-snapCh
+
+	if n := s.PendingApplies(); n != 0 {
+		t.Fatalf("%d applies pending after export", n)
+	}
+	wantRefs := int64(entries + hits)
+	if got := snap.Shards[0].Stats.References; got != wantRefs {
+		t.Fatalf("mid-traffic snapshot captured %d references, want %d (pending applies not flushed)", got, wantRefs)
+	}
+	// Quiesced now: the mid-traffic snapshot must equal a post-quiesce one
+	// byte for byte.
+	var midB, quiB bytes.Buffer
+	if err := persist.Write(&midB, snap); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if err := s.Snapshot(&quiB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(midB.Bytes(), quiB.Bytes()) {
+		t.Fatal("mid-traffic snapshot differs from post-quiesce snapshot")
+	}
+
+	// Restore into a fresh buffered cache: EventRestore must rebuild the
+	// read index, so the very first reference hits lock-free.
+	r := newSharded(t, Config{
+		Shards:   1,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	defer r.Close()
+	if _, err := r.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if hit, _ := r.Reference(core.Request{QueryID: ids[0], Time: 1000, Size: 512, Cost: 80}); !hit {
+		t.Fatal("restored entry missed")
+	}
+	if r.Stats().BufferedHits != 1 {
+		t.Fatal("restored entry was not served from the read index")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferedInvalidateDrainsAndPurges verifies the invalidation barrier:
+// pending hit applications flush before the sweep (they count as ordinary
+// hits against the still-resident entries), the read index is purged with
+// the residency sweep, and subsequent references miss.
+func TestBufferedInvalidateDrainsAndPurges(t *testing.T) {
+	s := newSharded(t, Config{
+		Shards:   1,
+		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Buffered: true, Now: zeroClock,
+	})
+	defer s.Close()
+	s.Reference(core.Request{QueryID: "inv", Time: 1, Size: 256, Cost: 50, Relations: []string{"r"}})
+	const hits = 10
+	for i := 0; i < hits; i++ {
+		s.Reference(core.Request{QueryID: "inv", Time: float64(i + 2), Size: 256, Cost: 50, Relations: []string{"r"}})
+	}
+	if dropped := s.Invalidate("r"); dropped != 1 {
+		t.Fatalf("invalidate dropped %d entries, want 1", dropped)
+	}
+	if n := s.PendingApplies(); n != 0 {
+		t.Fatalf("%d applies pending after invalidate (barrier skipped)", n)
+	}
+	if _, ok := s.Peek("inv"); ok {
+		t.Fatal("invalidated entry still served from the read index")
+	}
+	if hit, _ := s.Reference(core.Request{QueryID: "inv", Time: 100, Size: 256, Cost: 50, Relations: []string{"r"}}); hit {
+		t.Fatal("reference after invalidation hit")
+	}
+	st := s.Stats()
+	if st.References != hits+2 || st.Hits != hits {
+		t.Fatalf("stats after invalidate: %d references, %d hits; want %d, %d", st.References, st.Hits, hits+2, hits)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

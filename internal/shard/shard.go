@@ -90,6 +90,27 @@ type Config struct {
 	// Now supplies the logical-seconds timestamp for requests whose Time
 	// is zero. Nil selects WallClock(), anchored at construction.
 	Now func() float64
+	// Buffered enables the contention-free hit path: hits are answered
+	// from a per-shard lock-free read index and their recency/λ/profit
+	// bookkeeping is applied in batches by a per-shard worker. See the
+	// package comment in buffered.go for the consistency model; Drain is
+	// the synchronization barrier.
+	Buffered bool
+	// PromoteBuffer is the per-shard promotion queue depth (buffered mode
+	// only; zero selects DefaultPromoteBuffer). When the queue is full a
+	// hit is still served and counted, but its bookkeeping is shed —
+	// counted in Stats.PromotesSkipped.
+	PromoteBuffer int
+	// DeleteBuffer is the per-shard maintenance queue depth (buffered mode
+	// only; zero selects DefaultDeleteBuffer). It carries drain barriers
+	// and the worker stop signal; unlike promotions these never drop — a
+	// full buffer blocks the producer.
+	DeleteBuffer int
+	// GetsPerPromote applies deferred bookkeeping for one hit in N
+	// (buffered mode only; zero or one applies every hit). Values above
+	// one trade λ-estimation fidelity for throughput; sampled-out hits are
+	// still counted, in Stats.PromotesSampled.
+	GetsPerPromote int
 }
 
 // WallClock returns a time source that maps wall time to core's logical
@@ -112,6 +133,22 @@ type Stats struct {
 	// semantic derivation instead of a loader execution. Followers that
 	// waited on such a flight are counted in Coalesced as usual.
 	Derivations int64 `json:"derivations"`
+	// BufferedHits is the number of hits served by buffered mode's
+	// lock-free read index (zero with Buffered off).
+	BufferedHits int64 `json:"buffered_hits,omitempty"`
+	// PromotesSkipped counts buffered hits whose deferred bookkeeping was
+	// shed because the promote buffer was full. The references, cost
+	// savings and bytes of shed hits are still counted above — only their
+	// recency/λ signal was lost.
+	PromotesSkipped int64 `json:"promotes_skipped,omitempty"`
+	// PromotesSampled counts buffered hits whose deferred bookkeeping was
+	// skipped by GetsPerPromote sampling (their counts, too, are included
+	// above).
+	PromotesSampled int64 `json:"promotes_sampled,omitempty"`
+	// PendingApplies is the number of promotions enqueued but not yet
+	// applied at the instant Stats was read — a queue-depth gauge, not a
+	// counter; zero right after Drain.
+	PendingApplies int64 `json:"pending_applies,omitempty"`
 }
 
 // flight is one in-progress loader execution that followers wait on.
@@ -162,6 +199,9 @@ type shard struct {
 	// admission is enabled; nil otherwise. It has its own tiny mutex, so
 	// recording happens outside the shard lock.
 	profile *admission.Profile
+	// buf is the buffered-mode state (read index, promotion queue,
+	// deferred cells); nil when Config.Buffered is off.
+	buf *shardBuffers
 }
 
 // observe records one served reference into the shard's admission profile
@@ -210,6 +250,14 @@ type Sharded struct {
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
 	derivations atomic.Int64
+
+	// Buffered-mode state: getsPerPromote is the resolved sampling stride,
+	// closed gates the fast path off once Close has stopped the workers,
+	// and workerWG tracks the per-shard apply workers.
+	buffered       bool
+	getsPerPromote int
+	closed         atomic.Bool
+	workerWG       sync.WaitGroup
 }
 
 // New creates a sharded cache. The configuration must name a power-of-two
@@ -231,18 +279,31 @@ func New(cfg Config) (*Sharded, error) {
 		return nil, fmt.Errorf("shard: capacity %d spread over %d shards leaves nothing per shard",
 			cfg.Cache.Capacity, n)
 	}
+	if cfg.PromoteBuffer < 0 || cfg.DeleteBuffer < 0 || cfg.GetsPerPromote < 0 {
+		return nil, fmt.Errorf("shard: negative buffer sizing (promote %d, delete %d, gets-per-promote %d)",
+			cfg.PromoteBuffer, cfg.DeleteBuffer, cfg.GetsPerPromote)
+	}
 	s := &Sharded{
-		shards:  make([]*shard, n),
-		mask:    uint64(n - 1),
-		loader:  cfg.Loader,
-		now:     cfg.Now,
-		tuner:   cfg.Tuner,
-		reg:     cfg.Registry,
-		deriver: cfg.Deriver,
-		rec:     cfg.Recorder,
+		shards:         make([]*shard, n),
+		mask:           uint64(n - 1),
+		loader:         cfg.Loader,
+		now:            cfg.Now,
+		tuner:          cfg.Tuner,
+		reg:            cfg.Registry,
+		deriver:        cfg.Deriver,
+		rec:            cfg.Recorder,
+		buffered:       cfg.Buffered,
+		getsPerPromote: max(cfg.GetsPerPromote, 1),
 	}
 	if s.now == nil {
 		s.now = WallClock()
+	}
+	promoteDepth, deleteDepth := cfg.PromoteBuffer, cfg.DeleteBuffer
+	if promoteDepth == 0 {
+		promoteDepth = DefaultPromoteBuffer
+	}
+	if deleteDepth == 0 {
+		deleteDepth = DefaultDeleteBuffer
 	}
 	for i := range s.shards {
 		scfg := cfg.Cache
@@ -270,6 +331,19 @@ func New(cfg Config) (*Sharded, error) {
 			scfg.Tracer = s.rec.ShardTracer(i)
 			scfg.Sink = core.MultiSink(scfg.Sink, s.rec.ShardSink(i))
 		}
+		var buf *shardBuffers
+		if s.buffered {
+			// The read index rides the shard's event stream: admissions and
+			// restores store, evictions and invalidations delete — all
+			// under the shard lock, so index and residency never diverge.
+			buf = &shardBuffers{
+				promote: make(chan promotion, promoteDepth),
+				ops:     make(chan bufOp, deleteDepth),
+				stopped: make(chan struct{}),
+				batch:   make([]promotion, 0, applyBatchSize),
+			}
+			scfg.Sink = core.MultiSink(scfg.Sink, indexSink{buf: buf})
+		}
 		c, err := core.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -278,9 +352,16 @@ func New(cfg Config) (*Sharded, error) {
 			cache:      c,
 			inflight:   make(map[string]*flight),
 			invalEpoch: make(map[string]uint64),
+			buf:        buf,
 		}
 		if s.tuner != nil {
 			s.shards[i].profile = s.tuner.NewProfile()
+		}
+	}
+	if s.buffered {
+		for _, sh := range s.shards {
+			s.workerWG.Add(1)
+			go s.worker(sh)
 		}
 	}
 	return s, nil
@@ -310,6 +391,16 @@ func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
 	req.Time = s.timestamp(req.Time)
 	sig := core.Signature(id)
 	sh := s.shardFor(sig)
+	if s.buffered && !s.closed.Load() {
+		if v, ok := sh.buf.index.Load(id); ok {
+			// Lock-free hit: serve the payload snapshot and defer the
+			// bookkeeping, charging the request's cost as the locked hit
+			// path would.
+			re := v.(*readEntry)
+			s.fastHit(sh, re, req.Time, req.Class, req.Cost)
+			return true, re.payload
+		}
+	}
 	sh.mu.Lock()
 	hit, payload = sh.cache.ReferenceCanonical(req, sig)
 	sh.mu.Unlock()
@@ -359,6 +450,17 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 	req.Time = s.timestamp(req.Time)
 	sig := core.Signature(id)
 	sh := s.shardFor(sig)
+
+	if s.buffered && !s.closed.Load() {
+		if v, ok := sh.buf.index.Load(id); ok {
+			// Lock-free hit: serve the indexed payload and defer the
+			// bookkeeping, charging the entry's stored cost as the locked
+			// Load hit path (ReferenceEntry) would.
+			re := v.(*readEntry)
+			s.fastHit(sh, re, req.Time, req.Class, re.cost)
+			return re.payload, true, nil
+		}
+	}
 
 	sh.mu.Lock()
 	if e, ok := sh.cache.LookupCanonical(id, sig); ok {
@@ -528,6 +630,14 @@ func (s *Sharded) runLoader(f *flight, req core.Request) {
 func (s *Sharded) Peek(queryID string) (payload any, ok bool) {
 	id := core.CompressID(queryID)
 	sh := s.shardFor(core.Signature(id))
+	if s.buffered {
+		// The read index mirrors residency exactly (it mutates under the
+		// shard lock with the core), so an index hit answers lock-free; a
+		// miss falls through to the authoritative locked probe.
+		if v, ok := sh.buf.index.Load(id); ok {
+			return v.(*readEntry).payload, true
+		}
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.cache.Peek(id)
@@ -545,6 +655,11 @@ func (s *Sharded) Invalidate(relations ...string) int {
 	}
 	dropped := 0
 	for _, sh := range s.shards {
+		// Buffered mode: flush pending hit applications first, so hits
+		// served before the invalidation are applied against their entries
+		// (full bookkeeping) rather than falling back to plain accounting
+		// after the sweep removes them.
+		s.drainShard(sh)
 		sh.mu.Lock()
 		// Fence in-flight loads that read these relations: their results
 		// may now be stale.
@@ -569,9 +684,15 @@ func (s *Sharded) Stats() Stats {
 	var out Stats
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		st := sh.cache.Stats()
+		st := sh.statsLocked()
 		sh.mu.Unlock()
 		out.Stats.Add(st)
+		if sh.buf != nil {
+			out.BufferedHits += sh.buf.fastHits.Load()
+			out.PromotesSkipped += sh.buf.skipped.Load()
+			out.PromotesSampled += sh.buf.sampled.Load()
+			out.PendingApplies += sh.buf.pending.Load()
+		}
 	}
 	out.LoaderCalls = s.loaderCalls.Load()
 	out.Coalesced = s.coalesced.Load()
@@ -584,7 +705,7 @@ func (s *Sharded) ShardStats() []core.Stats {
 	out := make([]core.Stats, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.Lock()
-		out[i] = sh.cache.Stats()
+		out[i] = sh.statsLocked()
 		sh.mu.Unlock()
 	}
 	return out
@@ -637,12 +758,17 @@ func (s *Sharded) Clock() float64 {
 	return max
 }
 
-// CheckInvariants verifies every shard's internal consistency and that no
-// flight outlived its execution. Tests drive it after concurrent hammering.
+// CheckInvariants verifies every shard's internal consistency, that no
+// flight outlived its execution and — in buffered mode — that the
+// lock-free read index mirrors the resident set exactly. Tests drive it
+// after concurrent hammering.
 func (s *Sharded) CheckInvariants() error {
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		err := sh.cache.CheckInvariants()
+		if err == nil {
+			err = sh.checkIndexLocked()
+		}
 		n := len(sh.inflight)
 		sh.mu.Unlock()
 		if err != nil {

@@ -27,8 +27,26 @@ import (
 func (s *Sharded) ExportState() *persist.Snapshot {
 	snap := &persist.Snapshot{Shards: make([]*core.CacheState, len(s.shards))}
 	for i, sh := range s.shards {
+		// Buffered mode: flush this shard's pending hit applications right
+		// before capturing it, so the image carries fully-applied recency
+		// and λ state — a snapshot taken mid-traffic equals one taken
+		// after quiesce, up to references that land after the barrier.
+		s.drainShard(sh)
 		sh.mu.Lock()
 		snap.Shards[i] = sh.cache.ExportState()
+		if sh.buf != nil {
+			// Fold any deferred counts that never reached the core (hits
+			// shed under buffer pressure, or promotions racing this
+			// capture) into the exported Stats, so persisted counters stay
+			// honest; the live cells keep them for the running process.
+			h := sh.buf.hits.Load()
+			snap.Shards[i].Stats.References += h
+			snap.Shards[i].Stats.Hits += h
+			c := sh.buf.cost.load()
+			snap.Shards[i].Stats.CostTotal += c
+			snap.Shards[i].Stats.CostSaved += c
+			snap.Shards[i].Stats.BytesServed += sh.buf.bytes.Load()
+		}
 		sh.mu.Unlock()
 		if c := snap.Shards[i].Clock; c > snap.Clock {
 			snap.Clock = c

@@ -206,6 +206,14 @@ type Loader = shard.Loader
 // DefaultShards is the shard count used when ShardedConfig.Shards is zero.
 const DefaultShards = shard.DefaultShards
 
+// DefaultPromoteBuffer is the per-shard promotion queue depth used when
+// ShardedConfig.PromoteBuffer is zero (buffered mode).
+const DefaultPromoteBuffer = shard.DefaultPromoteBuffer
+
+// DefaultDeleteBuffer is the per-shard maintenance queue depth used when
+// ShardedConfig.DeleteBuffer is zero (buffered mode).
+const DefaultDeleteBuffer = shard.DefaultDeleteBuffer
+
 // NewSharded creates a concurrent sharded cache manager.
 func NewSharded(cfg ShardedConfig) (*Sharded, error) { return shard.New(cfg) }
 
@@ -385,6 +393,10 @@ const (
 	StageInsert = core.StageInsert
 	// StageEvict covers evicting the victim batch of an admission.
 	StageEvict = core.StageEvict
+	// StageApply is the deferred-application stage of the buffered hit
+	// path: the time a promotion spent queued between the lock-free hit
+	// and the shard worker charging its recency/λ bookkeeping.
+	StageApply = core.StageApply
 	// NumStages is the number of lifecycle stages.
 	NumStages = core.NumStages
 )
