@@ -14,6 +14,7 @@ package watchman_test
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"sync/atomic"
 	"testing"
@@ -348,14 +349,17 @@ func BenchmarkShardedReference(b *testing.B) {
 //     never actually contend — timeslicing serializes the goroutines for
 //     free — so the two modes look close there.
 //   - load=snapshots: the same hit storm racing a continuous snapshot
-//     exporter over a ~100 MB resident population (the production
-//     -snapshot-interval pressure case). ExportState deep-copies each
-//     shard under its mutex, so every locked hit to that shard stalls
-//     behind a millisecond-scale critical section; buffered hits answer
-//     from the read index and never touch the lock. This gap shows up on
-//     any hardware, single-core included. The exporter's own allocations
-//     are attributed to the measured loop, so B/op and allocs/op in this
-//     shape describe the exporter, not the hit path (the hit path's zero
+//     writer over a ~100 MB resident population (the production
+//     -snapshot-interval pressure case). The writer runs the streaming
+//     path (Snapshot → StreamSnapshot): each shard leaves in bounded
+//     chunks with the shard lock released between them and every byte
+//     encoded outside all locks, so a locked foreground hit stalls for at
+//     most one chunk copy instead of a full-shard export. Before the
+//     streaming path this collapsed locked-mode throughput three orders
+//     of magnitude (ExportState held each shard's mutex for a
+//     millisecond-scale deep copy). The writer's own allocations are
+//     attributed to the measured loop, so B/op and allocs/op in this
+//     shape describe the writer, not the hit path (the hit path's zero
 //     allocs are asserted by TestBufferedHitPathAllocs and visible in
 //     load=pure).
 //
@@ -405,7 +409,7 @@ func BenchmarkShardedReferenceBuffered(b *testing.B) {
 					go func() {
 						defer close(exportDone)
 						for !stopExport.Load() {
-							_ = sc.ExportState()
+							_ = sc.Snapshot(io.Discard)
 						}
 					}()
 				} else {

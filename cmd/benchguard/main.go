@@ -1,0 +1,151 @@
+// Command benchguard is the CI benchmark regression gate. It reads two
+// `go test -json` benchmark logs — a committed baseline and a fresh
+// candidate — extracts the refs/s metric of every benchmark whose name
+// contains the filter substring, and fails when the candidate's
+// throughput regresses past the allowed fraction of the baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard -baseline BENCH_shard_baseline.json \
+//	    -candidate BENCH_shard.json -filter load=snapshots -max-regress 0.30
+//
+// Benchmarks appearing more than once (a -count > 1 run) are compared by
+// their best observation on each side, so scheduler noise in a single
+// iteration cannot fail the gate. A filtered benchmark present in the
+// baseline but absent from the candidate is an error: a silently dropped
+// cell must not pass as "no regression".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline `file` (go test -json output)")
+	candidate := flag.String("candidate", "", "candidate `file` (go test -json output)")
+	filter := flag.String("filter", "", "only gate benchmarks whose name contains this `substring`")
+	maxRegress := flag.Float64("max-regress", 0.30, "allowed throughput loss as a `fraction` of baseline")
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := loadRefsPerSec(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := loadRefsPerSec(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if strings.Contains(name, *filter) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("baseline %s has no refs/s benchmarks matching %q", *baseline, *filter))
+	}
+
+	failed := false
+	for _, name := range names {
+		b := best(base[name])
+		got, ok := cand[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline (%.0f refs/s) but missing from candidate\n", name, b)
+			failed = true
+			continue
+		}
+		c := best(got)
+		floor := b * (1 - *maxRegress)
+		verdict := "ok  "
+		if c < floor {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: baseline %.0f refs/s, candidate %.0f refs/s (floor %.0f)\n",
+			verdict, name, b, c, floor)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+func best(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// loadRefsPerSec collects every refs/s observation per benchmark name
+// from one `go test -json` log. The JSON events split output on line
+// boundaries but can also split a single benchmark result line across
+// events, so the Output payloads are reassembled into a text stream
+// before line-level parsing.
+func loadRefsPerSec(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json log: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string][]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i, fld := range fields {
+			if fld != "refs/s" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad refs/s value on %q: %w", path, line, err)
+			}
+			out[fields[0]] = append(out[fields[0]], v)
+			break
+		}
+	}
+	return out, nil
+}

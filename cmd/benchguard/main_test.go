@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRefsPerSec pins the test2json parsing: output events can split
+// one benchmark result line mid-way, -count > 1 yields repeated names,
+// and lines without a refs/s metric are ignored.
+func TestLoadRefsPerSec(t *testing.T) {
+	log := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkShardedReferenceBuffered/load=snapshots/mode=locked     "}
+{"Action":"output","Package":"repro","Output":"\t   35818\t     33422 ns/op\t        0.99 hit-ratio\t     29920 refs/s\t     129 B/op\t       1 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkShardedReferenceBuffered/load=snapshots/mode=locked-8 \t  100\t 10 ns/op\t 8000000 refs/s\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkShardedReferenceBuffered/load=snapshots/mode=locked-8 \t  100\t 12 ns/op\t 7000000 refs/s\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkSnapshotWrite \t 100\t 50000 ns/op\t 120 MB/s\n"}
+{"Action":"run","Package":"repro"}
+`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadRefsPerSec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	split := got["BenchmarkShardedReferenceBuffered/load=snapshots/mode=locked"]
+	if len(split) != 1 || split[0] != 29920 {
+		t.Fatalf("split-line benchmark = %v, want [29920]", split)
+	}
+	repeated := got["BenchmarkShardedReferenceBuffered/load=snapshots/mode=locked-8"]
+	if len(repeated) != 2 || best(repeated) != 8000000 {
+		t.Fatalf("repeated benchmark = %v, want best 8000000", repeated)
+	}
+	if _, ok := got["BenchmarkSnapshotWrite"]; ok {
+		t.Fatal("a benchmark without refs/s must be ignored")
+	}
+}

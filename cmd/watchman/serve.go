@@ -297,8 +297,9 @@ func cmdServe(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "watchman: final snapshot failed: %v\n", serr)
 		} else {
-			fmt.Fprintf(os.Stderr, "watchman: final snapshot: %d resident sets, %s (%d bytes)\n",
-				info.Resident, info.Path, info.Bytes)
+			fmt.Fprintf(os.Stderr, "watchman: final snapshot: %d resident sets, %s (%d bytes, %v, max lock pause %v)\n",
+				info.Resident, info.Path, info.Bytes,
+				info.Elapsed.Round(time.Millisecond), info.MaxLockPause.Round(time.Microsecond))
 		}
 	}
 	return err

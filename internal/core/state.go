@@ -275,10 +275,13 @@ func (c *Cache) RestoreState(st *CacheState) (RestoreReport, error) {
 			e.Relations = append([]string(nil), es.Relations...)
 		}
 		e.window = restoreWindow(c.cfg.K, es.RefTimes, es.TotalRefs)
+		// The plan descriptor survives eviction on live retained records
+		// (only the payload is dropped), so restore keeps it for both
+		// kinds — a restored cache re-snapshots to the captured bytes.
+		e.Plan = es.Plan
 		if resident {
 			e.resident = true
 			e.Payload = es.Payload
-			e.Plan = es.Plan
 			c.usedPayload += e.Size
 			c.resident++
 			c.ev.add(e, c.now)

@@ -97,6 +97,17 @@ func (w *refWindow) rate(now, minDt float64) float64 {
 	return float64(w.n) / dt
 }
 
+// exportInto appends the window's valid reference times, oldest first,
+// onto out and returns the extended slice. It is the allocation-reusing
+// form of export (see state.go) for the chunked export path.
+func (w *refWindow) exportInto(out []float64) []float64 {
+	for i := 0; i < w.n; i++ {
+		idx := (w.head - (w.n - 1 - i) + len(w.times)*2) % len(w.times)
+		out = append(out, w.times[idx])
+	}
+	return out
+}
+
 // clone returns a deep copy of the window.
 func (w *refWindow) clone() refWindow {
 	cp := *w

@@ -12,7 +12,7 @@ import (
 
 // benchState builds one well-populated cache state for the codec
 // benchmarks: ~2k resident sets with byte payloads plus retained records.
-func benchState(b *testing.B) *core.CacheState {
+func benchState(b testing.TB) *core.CacheState {
 	b.Helper()
 	c, err := core.New(core.Config{Capacity: 4 << 20, K: 4, Policy: core.LNCRA, MetadataOverhead: 64})
 	if err != nil {
@@ -50,6 +50,60 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 		size = cw.n
 	}
 	b.SetBytes(size)
+}
+
+// BenchmarkSnapshotStreamWrite measures the streaming writer the way the
+// sharded cache drives it — entries arriving in bounded chunks — so the
+// artifact tracks the throughput of the low-pause snapshot path itself.
+func BenchmarkSnapshotStreamWrite(b *testing.B) {
+	st := benchState(b)
+	const chunk = 512
+	var size int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := &countingWriter{}
+		sw, err := NewStreamWriter(cw, 1, st.Clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.BeginShard(st); err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(st.Entries); off += chunk {
+			end := min(off+chunk, len(st.Entries))
+			if err := sw.WriteEntries(st.Entries[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sw.EndShard(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+		size = cw.n
+	}
+	b.SetBytes(size)
+}
+
+// TestWriteSteadyStateAllocs pins the encoder pooling: once the pool is
+// warm, Write must reuse its section buffers, interning dictionary and
+// payload scratch rather than allocating per entry. The bound is far
+// under one alloc per entry (the state carries thousands), with slack
+// for cold-start pool misses when a GC empties the pool mid-run.
+func TestWriteSteadyStateAllocs(t *testing.T) {
+	snap := &Snapshot{Shards: []*core.CacheState{benchState(t)}}
+	Write(io.Discard, snap) // warm the encoder pool
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := Write(io.Discard, snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("Write allocates %.1f objects/op steady-state over %d entries; pooling should make this O(1)",
+			allocs, len(snap.Shards[0].Entries))
+	}
 }
 
 // BenchmarkSnapshotRead measures decode throughput.

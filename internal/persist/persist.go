@@ -126,10 +126,6 @@ type sectionWriter struct {
 	dict map[string]uint64
 }
 
-func newSectionWriter(dict map[string]uint64) *sectionWriter {
-	return &sectionWriter{dict: dict}
-}
-
 func (w *sectionWriter) uvarint(v uint64) {
 	var tmp [binary.MaxVarintLen64]byte
 	w.buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
@@ -178,50 +174,7 @@ func (w *sectionWriter) blob(b []byte) {
 	w.buf.Write(b)
 }
 
-// flush frames the accumulated payload as one section on out.
-func (w *sectionWriter) flush(out *bufio.Writer, kind byte) error {
-	payload := w.buf.Bytes()
-	if err := out.WriteByte(kind); err != nil {
-		return err
-	}
-	var tmp [binary.MaxVarintLen64]byte
-	if _, err := out.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(payload)))]); err != nil {
-		return err
-	}
-	if _, err := out.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	_, err := out.Write(crc[:])
-	return err
-}
-
-// encodePayload turns an entry payload into its tagged wire form.
-func encodePayload(id string, p any) (tag byte, data []byte, err error) {
-	switch v := p.(type) {
-	case nil:
-		return payloadNil, nil, nil
-	case []byte:
-		return payloadBytes, v, nil
-	case string:
-		return payloadString, []byte(v), nil
-	case *engine.Result:
-		data, err = json.Marshal(v)
-		if err != nil {
-			return 0, nil, fmt.Errorf("persist: entry %q: encoding engine result: %w", id, err)
-		}
-		return payloadResult, data, nil
-	default:
-		data, err = json.Marshal(v)
-		if err != nil {
-			return 0, nil, fmt.Errorf("persist: entry %q has a payload of unserializable type %T: %w", id, p, err)
-		}
-		return payloadJSON, data, nil
-	}
-}
-
-// decodePayload inverts encodePayload. JSON payloads decode to the
+// decodePayload inverts encoder.writePayload. JSON payloads decode to the
 // generic any shape (maps, slices, float64 numbers) — the same shape the
 // HTTP server stored in the first place.
 func decodePayload(tag byte, data []byte) (any, error) {
@@ -249,27 +202,6 @@ func decodePayload(tag byte, data []byte) (any, error) {
 	}
 }
 
-// writeCacheState serializes one shard's state into w.
-func writeCacheState(w *sectionWriter, idx int, st *core.CacheState) error {
-	w.uvarint(uint64(idx))
-	w.varint(st.Capacity)
-	w.uvarint(uint64(st.K))
-	w.uvarint(uint64(st.Policy))
-	w.float(st.Clock)
-	w.float(st.FirstTime)
-	w.bool(st.HaveFirst)
-	w.float(st.MinDt)
-	w.uvarint(uint64(st.MissesSincePrune))
-	writeStats(w, st.Stats)
-	w.uvarint(uint64(len(st.Entries)))
-	for i := range st.Entries {
-		if err := writeEntry(w, &st.Entries[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func writeStats(w *sectionWriter, s core.Stats) {
 	w.varint(s.References)
 	w.varint(s.Hits)
@@ -286,43 +218,6 @@ func writeStats(w *sectionWriter, s core.Stats) {
 	w.varint(s.RetainedDropped)
 	w.varint(s.FragSamples)
 	w.float(s.FragSum)
-}
-
-func writeEntry(w *sectionWriter, es *core.EntryState) error {
-	w.str(es.ID)
-	w.bool(es.Resident)
-	w.varint(es.Size)
-	w.float(es.Cost)
-	w.varint(int64(es.Class))
-	w.uvarint(uint64(len(es.Relations)))
-	for _, r := range es.Relations {
-		w.str(r)
-	}
-	w.uvarint(uint64(len(es.RefTimes)))
-	for _, t := range es.RefTimes {
-		w.float(t)
-	}
-	w.varint(es.TotalRefs)
-	tag, data, err := encodePayload(es.ID, es.Payload)
-	if err != nil {
-		return err
-	}
-	w.buf.WriteByte(tag)
-	w.blob(data)
-	switch p := es.Plan.(type) {
-	case nil:
-		w.bool(false)
-	case *engine.Descriptor:
-		b, err := json.Marshal(p)
-		if err != nil {
-			return fmt.Errorf("persist: entry %q: encoding plan: %w", es.ID, err)
-		}
-		w.bool(true)
-		w.blob(b)
-	default:
-		return fmt.Errorf("persist: entry %q has a plan of unserializable type %T", es.ID, es.Plan)
-	}
-	return nil
 }
 
 func writeAdmission(w *sectionWriter, st *admission.TunerState) {
@@ -348,46 +243,32 @@ func writeAdmission(w *sectionWriter, st *admission.TunerState) {
 	}
 }
 
-// Write encodes the snapshot to w in the WMSNAP format.
+// Write encodes the snapshot to w in the WMSNAP format. It is a
+// materialized-state convenience over StreamWriter — the two paths share
+// every encoding step, so their output is byte-identical.
 func Write(w io.Writer, snap *Snapshot) error {
-	out := bufio.NewWriterSize(w, 1<<16)
-	if _, err := out.WriteString(magic); err != nil {
+	sw, err := NewStreamWriter(w, len(snap.Shards), snap.Clock)
+	if err != nil {
 		return err
 	}
-	if err := out.WriteByte(version); err != nil {
-		return err
-	}
-	dict := make(map[string]uint64)
-
-	meta := newSectionWriter(dict)
-	meta.uvarint(uint64(len(snap.Shards)))
-	meta.float(snap.Clock)
-	if err := meta.flush(out, sectionMeta); err != nil {
-		return err
-	}
-
-	for i, sh := range snap.Shards {
-		sw := newSectionWriter(dict)
-		if err := writeCacheState(sw, i, sh); err != nil {
+	defer sw.Close() // releases the pooled encoder on error paths
+	for _, sh := range snap.Shards {
+		if err := sw.BeginShard(sh); err != nil {
 			return err
 		}
-		if err := sw.flush(out, sectionCache); err != nil {
+		if err := sw.WriteEntries(sh.Entries); err != nil {
+			return err
+		}
+		if err := sw.EndShard(); err != nil {
 			return err
 		}
 	}
-
 	if snap.Admission != nil {
-		sw := newSectionWriter(dict)
-		writeAdmission(sw, snap.Admission)
-		if err := sw.flush(out, sectionAdmission); err != nil {
+		if err := sw.WriteAdmission(snap.Admission); err != nil {
 			return err
 		}
 	}
-
-	if err := newSectionWriter(dict).flush(out, sectionEnd); err != nil {
-		return err
-	}
-	return out.Flush()
+	return sw.Close()
 }
 
 // sectionReader decodes one section's payload, sharing the stream-wide

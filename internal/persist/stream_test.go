@@ -1,0 +1,156 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+)
+
+// streamChunked drives the StreamWriter the way the sharded cache does —
+// entries in bounded chunks — over a materialized snapshot.
+func streamChunked(t *testing.T, snap *Snapshot, chunk int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, len(snap.Shards), snap.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range snap.Shards {
+		if err := sw.BeginShard(sh); err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(sh.Entries); off += chunk {
+			end := min(off+chunk, len(sh.Entries))
+			if err := sw.WriteEntries(sh.Entries[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.EndShard(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.Admission != nil {
+		if err := sw.WriteAdmission(snap.Admission); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamWriterByteCompatible: the chunked streaming path must emit
+// exactly the bytes of the monolithic Write, whatever the chunk size —
+// including a chunk smaller than one shard (many WriteEntries calls per
+// section) and one larger (a single call).
+func TestStreamWriterByteCompatible(t *testing.T) {
+	snap := &Snapshot{
+		Shards: []*core.CacheState{
+			populatedState(t, 1, 400),
+			populatedState(t, 2, 50),
+			populatedState(t, 3, 0),
+		},
+		Admission: &admission.TunerState{
+			Theta: 0.4,
+			Arms:  []admission.ArmState{{Theta: 0.2, Score: 1.5, Seeded: true}},
+			Samples: []admission.Sample{
+				{ID: "q1", Sig: 11, Size: 128, Cost: 40, Time: 7, Relations: []string{"lineitem"}},
+			},
+		},
+	}
+	for i := range snap.Shards {
+		if c := snap.Shards[i].Clock; c > snap.Clock {
+			snap.Clock = c
+		}
+	}
+	var want bytes.Buffer
+	if err := Write(&want, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, 1 << 20} {
+		got := streamChunked(t, snap, chunk)
+		if !bytes.Equal(want.Bytes(), got) {
+			t.Fatalf("chunk %d: streamed bytes differ from Write (%d vs %d bytes)", chunk, len(got), want.Len())
+		}
+	}
+	// And the streamed bytes must decode to the same snapshot.
+	dec, err := Read(bytes.NewReader(streamChunked(t, snap, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, snap, dec)
+}
+
+// TestStreamWriterSequence pins the misuse errors: shard sections out of
+// sequence, over the declared count, or a stream closed early must fail
+// loudly rather than emit a file the reader would reject later.
+func TestStreamWriterSequence(t *testing.T) {
+	st := populatedState(t, 4, 10)
+
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEntries(st.Entries); err == nil {
+		t.Error("WriteEntries before BeginShard should fail")
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("Close after a sequence error should report it")
+	}
+
+	sw, err = NewStreamWriter(&buf, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.BeginShard(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.EndShard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("Close after 1 of 2 declared shards should fail")
+	}
+
+	sw, err = NewStreamWriter(&buf, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.BeginShard(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("Close with an open shard should fail")
+	}
+}
+
+// TestStreamWriterBadPayload: an unserializable payload must fail the
+// stream exactly as it fails Write, and the error must stick.
+func TestStreamWriterBadPayload(t *testing.T) {
+	st := populatedState(t, 5, 10)
+	bad := *st
+	bad.Entries = append([]core.EntryState(nil), st.Entries...)
+	bad.Entries[0].Payload = make(chan int)
+
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.BeginShard(&bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEntries(bad.Entries); err == nil {
+		t.Fatal("unserializable payload must fail WriteEntries")
+	}
+	if err := sw.EndShard(); err == nil {
+		t.Error("the stream error must stick on EndShard")
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("the stream error must stick on Close")
+	}
+}

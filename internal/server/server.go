@@ -31,6 +31,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -132,6 +133,11 @@ type SnapshotStatus struct {
 	LastUnixMS   int64 `json:"last_unix_ms"`
 	LastBytes    int64 `json:"last_bytes"`
 	LastResident int   `json:"last_resident"`
+	// LastDurationMS and LastMaxPauseMS describe the last successful
+	// write's cost: its wall time, and the longest single shard-lock
+	// pause its chunked capture inflicted on foreground traffic.
+	LastDurationMS float64 `json:"last_duration_ms"`
+	LastMaxPauseMS float64 `json:"last_max_pause_ms"`
 	// LastError carries the most recent attempt's failure, empty when it
 	// succeeded. A non-empty value alongside an aging LastUnixMS is the
 	// "background loop is failing" alarm.
@@ -158,8 +164,10 @@ type SnapshotResponse struct {
 	Bytes int64  `json:"bytes"`
 	// Resident is the number of resident sets captured.
 	Resident int `json:"resident"`
-	// ElapsedMS is the capture + write wall time in milliseconds.
-	ElapsedMS float64 `json:"elapsed_ms"`
+	// ElapsedMS is the capture + write wall time in milliseconds;
+	// MaxLockPauseMS the longest single shard-lock pause within it.
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	MaxLockPauseMS float64 `json:"max_lock_pause_ms"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -316,23 +324,42 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// durationMS renders a duration as fractional milliseconds for the JSON
+// bodies.
+func durationMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.snap == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"snapshot persistence is not configured (start the server with -snapshot-path)")
 		return
 	}
-	info, err := s.snap.Snapshot()
-	if err != nil {
+	info, err := s.snap.TrySnapshot(r.Context())
+	switch {
+	case errors.Is(err, shard.ErrSnapshotInFlight):
+		// One write at a time: concurrent callers back off and retry
+		// instead of queueing unboundedly on the snapshotter's mutex.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "a snapshot is already in flight; retry shortly")
+	case err != nil && r.Context().Err() != nil:
+		// The client went away mid-write. The write itself runs to
+		// completion in the background and its outcome lands in /stats;
+		// this response is written into the void either way.
+		writeError(w, http.StatusServiceUnavailable,
+			"request aborted; the in-progress snapshot completes in the background")
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
-		return
+	default:
+		writeJSON(w, http.StatusOK, SnapshotResponse{
+			Path:           info.Path,
+			Bytes:          info.Bytes,
+			Resident:       info.Resident,
+			ElapsedMS:      durationMS(info.Elapsed),
+			MaxLockPauseMS: durationMS(info.MaxLockPause),
+		})
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{
-		Path:      info.Path,
-		Bytes:     info.Bytes,
-		Resident:  info.Resident,
-		ElapsedMS: float64(info.Elapsed.Microseconds()) / 1000,
-	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -368,22 +395,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Classes = snap.Classes
 		resp.Relations = snap.Relations
 	}
-	if s.snap != nil {
-		good, goodAt, lastErr := s.snap.Last()
-		status := &SnapshotStatus{
-			Path:         s.snap.Path(),
-			LastBytes:    good.Bytes,
-			LastResident: good.Resident,
-		}
-		if !goodAt.IsZero() {
-			status.LastUnixMS = goodAt.UnixMilli()
-		}
-		if lastErr != nil {
-			status.LastError = lastErr.Error()
-		}
-		resp.Snapshot = status
-	}
+	resp.Snapshot = s.snapshotStatus()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// snapshotStatus builds the persistence-health section shared by /stats
+// and /healthz, nil when no snapshotter is attached.
+func (s *Server) snapshotStatus() *SnapshotStatus {
+	if s.snap == nil {
+		return nil
+	}
+	good, goodAt, lastErr := s.snap.Last()
+	status := &SnapshotStatus{
+		Path:           s.snap.Path(),
+		LastBytes:      good.Bytes,
+		LastResident:   good.Resident,
+		LastDurationMS: durationMS(good.Elapsed),
+		LastMaxPauseMS: durationMS(good.MaxLockPause),
+	}
+	if !goodAt.IsZero() {
+		status.LastUnixMS = goodAt.UnixMilli()
+	}
+	if lastErr != nil {
+		status.LastError = lastErr.Error()
+	}
+	return status
 }
 
 // statsCSVTable renders the per-class cost-savings breakdown plus a
@@ -492,6 +528,10 @@ type HealthzResponse struct {
 	Version       string  `json:"version"`
 	GoVersion     string  `json:"go_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Snapshot reports persistence health (last snapshot duration, bytes
+	// and max lock pause alongside the last-good/last-error fields), nil
+	// when persistence is not configured.
+	Snapshot *SnapshotStatus `json:"snapshot,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -500,5 +540,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:       buildVersion(),
 		GoVersion:     runtime.Version(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Snapshot:      s.snapshotStatus(),
 	})
 }

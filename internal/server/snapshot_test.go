@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/shard"
@@ -20,6 +22,111 @@ func TestSnapshotEndpointUnconfigured(t *testing.T) {
 	resp, body := postJSON(t, ts.URL+"/v1/snapshot", struct{}{})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSnapshotEndpointAbortedContext: a client that disconnects while its
+// snapshot request waits must get the request-aborted 503, while the
+// write itself completes in the background and surfaces via the
+// persistence-health section — a dead client never aborts a half-taken
+// snapshot.
+func TestSnapshotEndpointAbortedContext(t *testing.T) {
+	sc, err := shard.New(shard.Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "server.wmsnap")
+	srv := New(sc)
+	sn := sc.NewSnapshotter(path, 0)
+	srv.SetSnapshotter(sn)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the handler runs
+	req := httptest.NewRequest(http.MethodPost, "/v1/snapshot", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	// The background write can beat the canceled context to the handler's
+	// select; 200 is then legal, any other status is not.
+	if rec.Code != http.StatusServiceUnavailable && rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %s, want 503 (aborted) or 200 (write won the race)", rec.Code, rec.Body)
+	}
+
+	// Either way the write must finish in the background and be reported.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		good, goodAt, lastErr := sn.Last()
+		if lastErr == nil && !goodAt.IsZero() {
+			if good.Path != path {
+				t.Fatalf("background write path %q, want %q", good.Path, path)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background write never recorded: err=%v", lastErr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file missing after aborted request: %v", err)
+	}
+}
+
+// TestHealthzSnapshotStatus: after a successful snapshot, /healthz and
+// /stats must both carry the persistence-health section with the write's
+// duration and max-lock-pause cost.
+func TestHealthzSnapshotStatus(t *testing.T) {
+	sc, err := shard.New(shard.Config{
+		Shards: 4,
+		Cache:  core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "server.wmsnap")
+	srv := New(sc)
+	sn := sc.NewSnapshotter(path, 0)
+	srv.SetSnapshotter(sn)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 50; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/reference", ReferenceRequest{
+			QueryID: fmt.Sprintf("q%d", i), Size: 100, Cost: 10, Payload: []any{float64(i)},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/snapshot", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+
+	var hz HealthzResponse
+	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if hz.Snapshot == nil {
+		t.Fatal("healthz omits the snapshot section with a snapshotter attached")
+	}
+	if hz.Snapshot.Path != path || hz.Snapshot.LastBytes <= 0 || hz.Snapshot.LastUnixMS == 0 {
+		t.Fatalf("healthz snapshot section incomplete: %+v", hz.Snapshot)
+	}
+	if hz.Snapshot.LastDurationMS <= 0 || hz.Snapshot.LastMaxPauseMS <= 0 {
+		t.Fatalf("healthz snapshot cost fields not populated: %+v", hz.Snapshot)
+	}
+	if hz.Snapshot.LastMaxPauseMS > hz.Snapshot.LastDurationMS {
+		t.Fatalf("max pause %.3fms exceeds duration %.3fms", hz.Snapshot.LastMaxPauseMS, hz.Snapshot.LastDurationMS)
+	}
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Snapshot == nil || st.Snapshot.LastDurationMS != hz.Snapshot.LastDurationMS {
+		t.Fatalf("stats snapshot section %+v disagrees with healthz %+v", st.Snapshot, hz.Snapshot)
 	}
 }
 

@@ -8,6 +8,8 @@ package shard
 // enforces that it has served nothing yet.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -58,11 +60,148 @@ func (s *Sharded) ExportState() *persist.Snapshot {
 	return snap
 }
 
-// Snapshot writes a snapshot of the full cache state to w. The per-shard
-// copies happen under each shard's lock in turn; the encoding runs
-// outside all locks.
+// Snapshot writes a snapshot of the full cache state to w. It streams:
+// shard state is exported in bounded chunks with the shard lock released
+// between them, and every byte is encoded outside all locks (see
+// StreamSnapshot, which it delegates to).
 func (s *Sharded) Snapshot(w io.Writer) error {
-	return persist.Write(w, s.ExportState())
+	_, err := s.StreamSnapshot(w)
+	return err
+}
+
+// snapshotChunkEntries bounds one chunked-export lock slice. At typical
+// entry sizes a 512-entry copy is tens of microseconds — foreground
+// references wait for at most that, instead of for a full-shard export.
+const snapshotChunkEntries = 512
+
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// StreamSnapshot writes a snapshot of the full cache state to w and
+// reports its size, resident count and the longest single lock hold.
+// Each shard's state leaves in chunks of at most snapshotChunkEntries
+// entries, the shard lock held only per-chunk and released while the
+// chunk is encoded; in buffered mode the shard's deferred hit
+// applications are drained before every chunk, not globally. Entries
+// touched between a shard's chunks surface as either their pre-export
+// or post-mutation state, and the output is byte-identical to
+// persist.Write over ExportState whenever the cache is quiescent (see
+// docs/PERSISTENCE.md, "Streaming capture & consistency").
+//
+// The returned SnapshotInfo has no Path: that belongs to the
+// Snapshotter's file lifecycle.
+func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
+	start := time.Now()
+	var maxPause time.Duration
+	pause := func(t0 time.Time) {
+		if d := time.Since(t0); d > maxPause {
+			maxPause = d
+		}
+	}
+
+	// The meta section streams first but declares the snapshot clock (the
+	// max across shards), so sweep the clocks up front. Under live
+	// traffic the declared clock may trail a shard's header clock by the
+	// references that land between this sweep and that shard's export —
+	// the same per-shard consistency ExportState offers.
+	var clock float64
+	for _, sh := range s.shards {
+		t0 := time.Now()
+		sh.mu.Lock()
+		if c := sh.cache.Clock(); c > clock {
+			clock = c
+		}
+		sh.mu.Unlock()
+		pause(t0)
+	}
+
+	cw := &countingWriter{w: w}
+	sw, err := persist.NewStreamWriter(cw, len(s.shards), clock)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	defer sw.Close() // releases the pooled encoder on error paths
+
+	resident := 0
+	scratch := make([]core.EntryState, 0, snapshotChunkEntries)
+	for _, sh := range s.shards {
+		// Buffered mode: flush this shard's pending hit applications
+		// before the header capture, so the image carries fully-applied
+		// recency and λ state.
+		s.drainShard(sh)
+		t0 := time.Now()
+		sh.mu.Lock()
+		cur := sh.cache.ExportBegin()
+		if sh.buf != nil {
+			// Fold any deferred counts that never reached the core (hits
+			// shed under buffer pressure, or promotions racing this
+			// capture) into the exported Stats, so persisted counters stay
+			// honest; the live cells keep them for the running process.
+			h := sh.buf.hits.Load()
+			cur.Header.Stats.References += h
+			cur.Header.Stats.Hits += h
+			c := sh.buf.cost.load()
+			cur.Header.Stats.CostTotal += c
+			cur.Header.Stats.CostSaved += c
+			cur.Header.Stats.BytesServed += sh.buf.bytes.Load()
+		}
+		sh.mu.Unlock()
+		pause(t0)
+		if err := sw.BeginShard(cur.Header); err != nil {
+			return SnapshotInfo{}, err
+		}
+		for cur.Remaining() > 0 {
+			// Per-chunk drain: hits applied while the previous chunk was
+			// encoding reach the core before this slice is copied.
+			s.drainShard(sh)
+			t0 = time.Now()
+			sh.mu.Lock()
+			chunk, _ := sh.cache.ExportChunk(cur, snapshotChunkEntries, scratch[:cap(scratch)])
+			sh.mu.Unlock()
+			pause(t0)
+			for i := range chunk {
+				if chunk[i].Resident {
+					resident++
+				}
+			}
+			// WriteEntries encodes before returning, so the scratch (and
+			// its entries' sub-slices) is free for the next chunk.
+			if err := sw.WriteEntries(chunk); err != nil {
+				return SnapshotInfo{}, err
+			}
+			scratch = chunk
+		}
+		if err := sw.EndShard(); err != nil {
+			return SnapshotInfo{}, err
+		}
+	}
+	if s.tuner != nil {
+		if err := sw.WriteAdmission(s.tuner.ExportState()); err != nil {
+			return SnapshotInfo{}, err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return SnapshotInfo{}, err
+	}
+	info := SnapshotInfo{
+		Bytes:        cw.n,
+		Resident:     resident,
+		Elapsed:      time.Since(start),
+		MaxLockPause: maxPause,
+	}
+	if s.reg != nil {
+		s.reg.ObserveSnapshot(info.Elapsed.Seconds(), info.Bytes, maxPause.Seconds())
+	}
+	return info, nil
 }
 
 // RestoreReport aggregates the per-shard restore outcomes.
@@ -133,6 +272,9 @@ type SnapshotInfo struct {
 	Resident int `json:"resident"`
 	// Elapsed is the wall time of the capture + write.
 	Elapsed time.Duration `json:"-"`
+	// MaxLockPause is the longest single shard-lock hold of the capture —
+	// the worst stall a foreground reference could have seen.
+	MaxLockPause time.Duration `json:"-"`
 }
 
 // Snapshotter persists the cache to a file on a schedule and on demand.
@@ -217,6 +359,45 @@ func (sn *Snapshotter) loop() {
 func (sn *Snapshotter) Snapshot() (SnapshotInfo, error) {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	return sn.writeAndRecord()
+}
+
+// ErrSnapshotInFlight reports that TrySnapshot found another snapshot
+// write in progress.
+var ErrSnapshotInFlight = errors.New("shard: a snapshot is already in flight")
+
+// TrySnapshot is the non-queueing form of Snapshot for request-scoped
+// callers: when another write is in flight it fails immediately with
+// ErrSnapshotInFlight instead of queueing on the snapshotter's mutex,
+// and a done ctx abandons the wait — the caller gets ctx.Err() while
+// the write itself runs to completion in the background and records its
+// outcome via Last, so a disconnected client never aborts a half-taken
+// snapshot.
+func (sn *Snapshotter) TrySnapshot(ctx context.Context) (SnapshotInfo, error) {
+	if !sn.mu.TryLock() {
+		return SnapshotInfo{}, ErrSnapshotInFlight
+	}
+	type outcome struct {
+		info SnapshotInfo
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer sn.mu.Unlock()
+		info, err := sn.writeAndRecord()
+		ch <- outcome{info, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.info, o.err
+	case <-ctx.Done():
+		return SnapshotInfo{}, ctx.Err()
+	}
+}
+
+// writeAndRecord performs one write and publishes its outcome. Called
+// with mu held.
+func (sn *Snapshotter) writeAndRecord() (SnapshotInfo, error) {
 	info, err := sn.write()
 	// Publish the outcome while still holding the write mutex, so two
 	// attempts cannot record out of order; Last takes only lastMu and
@@ -230,27 +411,23 @@ func (sn *Snapshotter) Snapshot() (SnapshotInfo, error) {
 	return info, err
 }
 
-// write performs one capture + atomic file replace. Called with mu held.
+// write performs one capture + atomic file replace. Called with mu
+// held. The capture streams (StreamSnapshot), so shard locks are held
+// only per-chunk and never across the file I/O.
 func (sn *Snapshotter) write() (SnapshotInfo, error) {
 	start := time.Now()
-	snap := sn.s.ExportState()
-
 	dir := filepath.Dir(sn.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(sn.path)+".tmp*")
 	if err != nil {
 		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := persist.Write(tmp, snap); err != nil {
+	info, err := sn.s.StreamSnapshot(tmp)
+	if err != nil {
 		tmp.Close()
 		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
-	}
-	size, err := tmp.Seek(0, io.SeekCurrent)
-	if err != nil {
 		tmp.Close()
 		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
 	}
@@ -260,12 +437,9 @@ func (sn *Snapshotter) write() (SnapshotInfo, error) {
 	if err := os.Rename(tmp.Name(), sn.path); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
 	}
-	return SnapshotInfo{
-		Path:     sn.path,
-		Bytes:    size,
-		Resident: snap.Resident(),
-		Elapsed:  time.Since(start),
-	}, nil
+	info.Path = sn.path
+	info.Elapsed = time.Since(start)
+	return info, nil
 }
 
 // Close stops the background loop (if any) and flushes one final

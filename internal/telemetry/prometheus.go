@@ -116,6 +116,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if s.SnapshotLatency != nil {
+		p.header("watchman_snapshot_duration_seconds", "Snapshot capture latency (chunked export + streaming encode).", "histogram")
+		p.histogram("watchman_snapshot_duration_seconds", "", *s.SnapshotLatency)
+		p.header("watchman_snapshot_bytes", "Encoded size of the most recent snapshot.", "gauge")
+		p.printf("watchman_snapshot_bytes %d\n", s.SnapshotBytes)
+		p.header("watchman_snapshot_max_lock_pause_seconds", "Longest single shard-lock pause of the most recent snapshot capture.", "gauge")
+		p.printf("watchman_snapshot_max_lock_pause_seconds %s\n", formatFloat(s.SnapshotMaxLockPauseSeconds))
+	}
+
 	return p.err
 }
 

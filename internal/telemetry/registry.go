@@ -45,6 +45,9 @@ func (f *atomicFloat) Add(v float64) {
 // Load returns the current value.
 func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// Store replaces the current value.
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
 // refCell is one accumulation cell of the breakdown tables: the outcome
 // counts and the two sides of the paper's CSR fraction, scoped to one
 // class or one relation within one contention domain. Admitted misses are
@@ -219,6 +222,13 @@ type Registry struct {
 	// (see core.Stage); the flight recorder feeds them from every span it
 	// observes, sampled or not, so the stage profile covers all traffic.
 	stageLatency [int(core.NumStages)]Histogram
+
+	// Snapshot-capture accounting, fed by ObserveSnapshot: the capture
+	// latency distribution plus the most recent capture's encoded size
+	// and worst single shard-lock pause.
+	snapLatency  Histogram
+	snapBytes    atomic.Int64
+	snapMaxPause atomicFloat
 }
 
 // NewRegistry creates an empty registry.
@@ -280,6 +290,15 @@ func (r *Registry) ObserveStage(stage core.Stage, seconds float64) {
 		return
 	}
 	r.stageLatency[stage].Observe(seconds)
+}
+
+// ObserveSnapshot records one completed snapshot capture: its wall-clock
+// duration and encoded size, and the longest single shard-lock pause the
+// capture inflicted on foreground traffic.
+func (r *Registry) ObserveSnapshot(seconds float64, bytes int64, maxPauseSeconds float64) {
+	r.snapBytes.Store(bytes)
+	r.snapMaxPause.Store(maxPauseSeconds)
+	r.snapLatency.Observe(seconds)
 }
 
 // RefStats is the reference accounting of one class or relation in a
@@ -401,6 +420,14 @@ type Snapshot struct {
 	// Stages holds the per-stage latency histograms fed by the flight
 	// recorder, in stage order; empty when no span was ever observed.
 	Stages []StageSnapshot `json:"stages,omitempty"`
+	// SnapshotLatency is the snapshot capture latency histogram, nil
+	// until a snapshot has been observed (ObserveSnapshot).
+	SnapshotLatency *HistogramSnapshot `json:"snapshot_latency,omitempty"`
+	// SnapshotBytes is the encoded size of the most recent snapshot.
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// SnapshotMaxLockPauseSeconds is the longest single shard-lock pause
+	// of the most recent snapshot capture.
+	SnapshotMaxLockPauseSeconds float64 `json:"snapshot_max_lock_pause_seconds,omitempty"`
 	// Classes holds the per-class breakdown, ascending by class.
 	Classes []ClassSnapshot `json:"classes,omitempty"`
 	// Relations holds the per-relation breakdown, ascending by name.
@@ -451,6 +478,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if stageCount > 0 {
 		s.Stages = stages
+	}
+
+	// Same gating for snapshot metrics: a process that never snapshots
+	// keeps its exposition free of an empty histogram family.
+	if hs := r.snapLatency.Snapshot(); hs.Count > 0 {
+		s.SnapshotLatency = &hs
+		s.SnapshotBytes = r.snapBytes.Load()
+		s.SnapshotMaxLockPauseSeconds = r.snapMaxPause.Load()
 	}
 
 	domains := []*domain{&r.root}

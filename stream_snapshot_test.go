@@ -1,0 +1,113 @@
+package watchman_test
+
+import (
+	"bytes"
+	"testing"
+
+	watchman "repro"
+)
+
+// TestGoldenTPCDStreamedSnapshot is the facade-level acceptance check for
+// the streaming snapshot path: over a golden TPC-D-driven cache (adaptive
+// admission included), the chunked streaming capture must emit exactly
+// the bytes of the materialize-then-encode path, restore to the same
+// report, and re-snapshot from the restored cache to the same bytes.
+func TestGoldenTPCDStreamedSnapshot(t *testing.T) {
+	tr, err := watchman.TPCDTrace(0.005, watchman.WorkloadConfig{Queries: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCache := func() (*watchman.Sharded, *watchman.AdmissionTuner) {
+		tuner, err := watchman.NewAdmissionTuner(watchman.AdmissionConfig{
+			Capacity: watchman.CacheBytesForFraction(tr, 0.25), K: 4, Window: 1 << 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := watchman.NewSharded(watchman.ShardedConfig{
+			Shards: 8,
+			Cache: watchman.Config{
+				Capacity: watchman.CacheBytesForFraction(tr, 0.25),
+				K:        4,
+				Policy:   watchman.LNCRA,
+			},
+			Tuner: tuner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc, tuner
+	}
+
+	sc, tuner := newCache()
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		req := watchman.Request{
+			QueryID:   rec.QueryID,
+			Time:      rec.Time,
+			Class:     rec.Class,
+			Size:      rec.Size,
+			Cost:      rec.Cost,
+			Relations: rec.Relations,
+			Payload:   []byte("rows"),
+		}
+		if rec.Plan != nil {
+			req.Plan = rec.Plan
+		}
+		sc.Reference(req)
+	}
+	if _, ok := tuner.TuneOnce(); !ok {
+		t.Fatal("tuning round did not score")
+	}
+
+	// The two capture paths must agree byte for byte on a quiesced cache.
+	var old bytes.Buffer
+	if err := watchman.WriteSnapshot(&old, sc.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	info, err := sc.StreamSnapshot(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streamed TPC-D snapshot differs from ExportState+WriteSnapshot: %d vs %d bytes",
+			streamed.Len(), old.Len())
+	}
+	if info.Resident != sc.Resident() || info.Bytes != int64(streamed.Len()) {
+		t.Fatalf("SnapshotInfo %+v (cache resident %d, %d bytes)", info, sc.Resident(), streamed.Len())
+	}
+
+	// Both captures restore to the same report...
+	restore := func(raw []byte) (*watchman.Sharded, watchman.RestoreReport) {
+		dst, _ := newCache()
+		rep, err := dst.Restore(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dst, rep
+	}
+	dstOld, repOld := restore(old.Bytes())
+	dstNew, repNew := restore(streamed.Bytes())
+	if repOld != repNew {
+		t.Fatalf("restore reports differ:\n  old path %+v\n  streamed %+v", repOld, repNew)
+	}
+	if err := dstNew.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and the restored caches re-snapshot to the same bytes.
+	var reOld, reNew bytes.Buffer
+	if err := dstOld.Snapshot(&reOld); err != nil {
+		t.Fatal(err)
+	}
+	if err := dstNew.Snapshot(&reNew); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reOld.Bytes(), reNew.Bytes()) {
+		t.Fatal("re-snapshots of the two restored caches differ")
+	}
+	if !bytes.Equal(reNew.Bytes(), streamed.Bytes()) {
+		t.Fatal("re-snapshot of the restored cache differs from the original capture")
+	}
+}

@@ -473,6 +473,11 @@ type Snapshotter = shard.Snapshotter
 // SnapshotInfo describes one completed snapshot write.
 type SnapshotInfo = shard.SnapshotInfo
 
+// ErrSnapshotInFlight reports that Snapshotter.TrySnapshot found another
+// snapshot write already in progress; request-scoped callers should back
+// off and retry rather than queue.
+var ErrSnapshotInFlight = shard.ErrSnapshotInFlight
+
 // TunerState is the exportable state of an AdmissionTuner: the published
 // θ, per-candidate smoothed scores, and the buffered profile windows.
 type TunerState = admission.TunerState
