@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/whatif"
 )
 
 // defaultComparePolicies is the policy lineup compared by default: the
@@ -54,6 +55,8 @@ func cmdCompare(args []string) error {
 	window := fs.Int("window", admission.DefaultWindow, "adaptive tuner: references per tuning round")
 	restart := fs.Bool("restart", false, "run the warm-vs-cold restart experiment instead: replay half the trace, snapshot + restore through the persist codec, replay the rest, and compare second-half cost savings against the uninterrupted and cold-restart runs (always LNC-RA)")
 	explain := fs.Bool("explain", false, "after the comparison table, print each policy's regret report: the top rejected-then-re-referenced signatures ranked by cost forgone, with the last rejection's profit-vs-θ·bar inputs")
+	whatifOn := fs.Bool("whatif", false, "run the ghost-matrix experiment instead: one real lnc-ra replay with the sampled what-if grid attached, reporting estimated CSR per (capacity ladder × policy) cell and the advisor verdict")
+	whatifSample := fs.Int("whatif-sample", whatif.DefaultSampleRate, "what-if matrix: replay 1 in R references into ghosts scaled by 1/R (needs -whatif)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,12 +67,38 @@ func cmdCompare(args []string) error {
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "policies", "window", "explain":
+			case "policies", "window", "explain", "whatif", "whatif-sample":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
 		if len(ignored) > 0 {
 			return fmt.Errorf("compare: %s has no effect with -restart (the experiment always replays lnc-ra)",
+				strings.Join(ignored, ", "))
+		}
+	}
+	if !*whatifOn {
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "whatif-sample" {
+				ignored = append(ignored, "-"+f.Name+" (needs -whatif)")
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("compare: %s", strings.Join(ignored, ", "))
+		}
+	} else {
+		// The ghost matrix carries its own policy grid and event-driven
+		// accounting; the per-policy flags of the plain comparison do not
+		// shape it.
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policies", "explain":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("compare: %s has no effect with -whatif (the ghost matrix runs its own policy grid)",
 				strings.Join(ignored, ", "))
 		}
 	}
@@ -92,6 +121,9 @@ func cmdCompare(args []string) error {
 	}
 	if *restart {
 		return compareRestart(tr, capacity, *k)
+	}
+	if *whatifOn {
+		return compareWhatIf(tr, capacity, *k, *window, *whatifSample)
 	}
 
 	var rows []compareRow
@@ -213,6 +245,49 @@ func clipID(id string, max int) string {
 		return string(b)
 	}
 	return string(b[:max-3]) + "..."
+}
+
+// compareWhatIf runs one real LNC-RA replay with the ghost matrix riding
+// its event stream (blocking mode, so nothing is shed) and renders the
+// estimated CSR of every (capacity, policy) cell, the sampling coverage
+// and the advisor verdict — the offline validation harness for the same
+// matrix `serve -whatif` runs live.
+func compareWhatIf(tr *trace.Trace, capacity int64, k, window, sampleRate int) error {
+	res, rep, err := sim.ReplayWhatIf(tr,
+		core.Config{Capacity: capacity, K: k, Policy: core.LNCRA},
+		whatif.Config{
+			SampleRate: sampleRate,
+			TuneWindow: max(admission.MinWindow, window/sampleRate),
+		})
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+
+	cols := []string{"policy"}
+	if len(rep.Curves) > 0 {
+		for _, pt := range rep.Curves[0].Points {
+			cols = append(cols, fmt.Sprintf("%gx cap", pt.Scale))
+		}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("what-if ghost matrix on %s, cache %s, K=%d, sampling 1/%d (estimated CSR per modeled capacity)",
+			tr.Name, metrics.Bytes(capacity), k, rep.SampleRate),
+		cols...)
+	for _, cv := range rep.Curves {
+		cells := []string{cv.Policy}
+		for _, pt := range cv.Points {
+			cells = append(cells, metrics.Ratio(pt.CSR))
+		}
+		t.AddRow(cells...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nreal replay: %s CSR %s over %d refs; ghosts replayed %d of %d refs (%.1f%% sampled, %d shed)\n",
+		res.Policy, metrics.Ratio(res.CSR()), res.Stats.References,
+		rep.RefsApplied, rep.RefsSeen, 100*rep.SampledRatio, rep.RefsShed)
+	fmt.Printf("advisor (margin %.3f, baseline %s): %s\n", rep.Advisor.Margin, rep.Advisor.BaselinePolicy, rep.Advisor.Reason)
+	return nil
 }
 
 // compareRestart runs the warm-vs-cold restart experiment and renders its

@@ -32,6 +32,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/whatif"
 )
 
 // shardedFlags is the flag subset shared by serve and loadgen that shapes
@@ -127,11 +128,13 @@ func cmdServe(args []string) error {
 	debugOn := fs.Bool("debug", false, "attach the flight recorder (GET /debug/requests, GET /v1/explain/{id}, stage-latency histograms) and mount pprof under /debug/pprof")
 	flightSample := fs.Int("flight-sample", flight.DefaultSampleEvery, "flight recorder: capture one span in N (1 = every span; needs -debug)")
 	flightSlow := fs.Duration("flight-slow", flight.DefaultSlowThreshold, "flight recorder: always capture spans slower than this (needs -debug)")
+	whatifOn := fs.Bool("whatif", false, "attach the ghost-cache what-if matrix (GET /v1/whatif, watchman_whatif_* metrics): live counterfactual CSR across a capacity ladder × policy grid")
+	whatifSample := fs.Int("whatif-sample", whatif.DefaultSampleRate, "what-if matrix: replay 1 in R references into ghosts scaled by 1/R (needs -whatif)")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*adaptive || *snapshotPath == "" || !*debugOn {
+	if !*adaptive || *snapshotPath == "" || !*debugOn || !*whatifOn {
 		// Reject rather than silently ignore flags that have no effect in
 		// this configuration (same strictness as loadgen's -addr).
 		var ignored []string
@@ -143,6 +146,8 @@ func cmdServe(args []string) error {
 				ignored = append(ignored, "-"+f.Name+" (needs -snapshot-path)")
 			case (f.Name == "flight-sample" || f.Name == "flight-slow") && !*debugOn:
 				ignored = append(ignored, "-"+f.Name+" (needs -debug)")
+			case f.Name == "whatif-sample" && !*whatifOn:
+				ignored = append(ignored, "-"+f.Name+" (needs -whatif)")
 			}
 		})
 		if len(ignored) > 0 {
@@ -194,6 +199,16 @@ func cmdServe(args []string) error {
 			Registry:      reg,
 		})
 	}
+	var ghosts *whatif.Matrix
+	if *whatifOn {
+		if *whatifSample < 1 {
+			return fmt.Errorf("serve: -whatif-sample must be at least 1, got %d", *whatifSample)
+		}
+		ghosts, err = whatif.New(whatif.Config{Base: cfg, SampleRate: *whatifSample})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
 	sc, err := shard.New(shard.Config{
 		Shards:         *sf.shards,
 		Cache:          cfg,
@@ -201,6 +216,7 @@ func cmdServe(args []string) error {
 		Registry:       reg,
 		Deriver:        deriver,
 		Recorder:       rec,
+		WhatIf:         ghosts,
 		Buffered:       *sf.buffered,
 		PromoteBuffer:  *sf.promoteBuffer,
 		GetsPerPromote: *sf.getsPerPromote,
@@ -267,6 +283,9 @@ func cmdServe(args []string) error {
 	if rec != nil {
 		policyDesc += fmt.Sprintf(", debug on (1/%d spans)", *flightSample)
 	}
+	if ghosts != nil {
+		policyDesc += fmt.Sprintf(", what-if on (%d ghosts, 1/%d refs)", ghosts.CellCount(), ghosts.SampleRate())
+	}
 	if snapshotter != nil {
 		policyDesc += ", snapshots " + *snapshotPath
 	}
@@ -317,6 +336,7 @@ func cmdLoadgen(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "in-process cache size in bytes (overrides -cache-pct)")
 	compareSerial := fs.Bool("compare-serial", false, "also replay serially through one core cache and report the CSR delta")
 	slowlog := fs.Int("slowlog", 0, "after the replay, print the N slowest recorded spans (in-process: attaches a flight recorder; with -addr: fetches /debug/requests?slow=1 from the server)")
+	jsonOut := fs.Bool("json", false, "print the final run summary as a single JSON line instead of the table")
 	sf := addShardedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -329,6 +349,9 @@ func cmdLoadgen(args []string) error {
 	}
 	if *slowlog < 0 {
 		return fmt.Errorf("loadgen: negative -slowlog %d", *slowlog)
+	}
+	if *jsonOut && *slowlog > 0 {
+		return fmt.Errorf("loadgen: -slowlog prints a table and would corrupt the -json line; drop one")
 	}
 	if err := sf.check(fs); err != nil {
 		return fmt.Errorf("loadgen: %w", err)
@@ -414,31 +437,56 @@ func cmdLoadgen(args []string) error {
 		}
 	}
 
-	hits, elapsed, err := replayConcurrent(tr, *concurrency, ref)
+	hits, elapsed, lats, err := replayConcurrent(tr, *concurrency, ref)
 	if err != nil {
 		return err
 	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50, p99 := latPercentile(lats, 0.50), latPercentile(lats, 0.99)
 
+	sum := loadgenSummary{
+		Trace:        tr.Name,
+		Target:       target,
+		Concurrency:  *concurrency,
+		Records:      tr.Len(),
+		WallSeconds:  elapsed.Seconds(),
+		RefsPerSec:   float64(tr.Len()) / elapsed.Seconds(),
+		ClientHits:   hits,
+		P50LatencyMS: durationMS(p50),
+		P99LatencyMS: durationMS(p99),
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("loadgen %s → %s, concurrency %d", tr.Name, target, *concurrency),
 		"metric", "value")
 	t.AddRow("records replayed", fmt.Sprint(tr.Len()))
 	t.AddRow("wall time", elapsed.Round(time.Millisecond).String())
-	t.AddRow("throughput (refs/s)", fmt.Sprintf("%.0f", float64(tr.Len())/elapsed.Seconds()))
+	t.AddRow("throughput (refs/s)", fmt.Sprintf("%.0f", sum.RefsPerSec))
 	t.AddRow("client-observed hits", fmt.Sprint(hits))
+	t.AddRow("p50 latency", p50.String())
+	t.AddRow("p99 latency", p99.String())
 	if sc != nil {
 		// Buffered mode: apply every queued promotion before reading stats,
 		// so the numbers below describe the whole replay (no-op otherwise).
 		sc.Drain()
 		st := sc.Stats()
+		sum.CSR = ptr(st.CostSavingsRatio())
+		sum.HitRatio = ptr(st.HitRatio())
+		sum.Admissions = st.Admissions
+		sum.Evictions = st.Evictions
+		sum.Resident = sc.Resident()
 		t.AddRow("cost savings ratio", metrics.Ratio(st.CostSavingsRatio()))
 		t.AddRow("hit ratio", metrics.Ratio(st.HitRatio()))
 		t.AddRow("admissions", fmt.Sprint(st.Admissions))
 		t.AddRow("evictions", fmt.Sprint(st.Evictions))
 		t.AddRow("resident sets", fmt.Sprint(sc.Resident()))
 		if *sf.buffered {
+			sum.BufferedHits = ptr(st.BufferedHits)
+			sum.PromotesShed = ptr(st.PromotesSkipped)
 			t.AddRow("buffered hits", fmt.Sprint(st.BufferedHits))
 			t.AddRow("promotions shed", fmt.Sprint(st.PromotesSkipped))
+		}
+		if tn := sc.Tuner(); tn != nil {
+			sum.Theta = ptr(tn.Threshold())
 		}
 		if *compareSerial {
 			// Same configuration as each shard, minus the sharding.
@@ -450,14 +498,29 @@ func cmdLoadgen(args []string) error {
 			if err != nil {
 				return err
 			}
+			sum.SerialCSR = ptr(serial.CSR())
+			sum.CSRDelta = ptr(st.CostSavingsRatio() - serial.CSR())
 			t.AddRow("serial core CSR", metrics.Ratio(serial.CSR()))
 			t.AddRow("CSR delta", fmt.Sprintf("%+.4f", st.CostSavingsRatio()-serial.CSR()))
 		}
-	} else if csr, hr, err := fetchServerRatios(client, target); err == nil {
-		t.AddRow("server cost savings ratio", metrics.Ratio(csr))
-		t.AddRow("server hit ratio", metrics.Ratio(hr))
 	} else {
-		fmt.Fprintf(os.Stderr, "watchman: could not fetch server stats: %v\n", err)
+		if csr, hr, err := fetchServerRatios(client, target); err == nil {
+			sum.CSR, sum.HitRatio = ptr(csr), ptr(hr)
+			t.AddRow("server cost savings ratio", metrics.Ratio(csr))
+			t.AddRow("server hit ratio", metrics.Ratio(hr))
+		} else {
+			fmt.Fprintf(os.Stderr, "watchman: could not fetch server stats: %v\n", err)
+		}
+		if theta, ok, err := fetchServerTheta(client, target); err == nil && ok {
+			sum.Theta = ptr(theta)
+			t.AddRow("server admission θ", fmt.Sprintf("%g", theta))
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "watchman: could not fetch server admission state: %v\n", err)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(sum)
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
@@ -466,6 +529,66 @@ func cmdLoadgen(args []string) error {
 		return printSlowlog(rec, client, target, *slowlog)
 	}
 	return nil
+}
+
+// loadgenSummary is the -json shape of the final run report: one line,
+// mirroring the human-readable table. Pointer fields appear only when the
+// run produced them (in-process vs remote, buffered, -compare-serial,
+// adaptive admission).
+type loadgenSummary struct {
+	Trace        string   `json:"trace"`
+	Target       string   `json:"target"`
+	Concurrency  int      `json:"concurrency"`
+	Records      int      `json:"records"`
+	WallSeconds  float64  `json:"wall_seconds"`
+	RefsPerSec   float64  `json:"refs_per_sec"`
+	ClientHits   int64    `json:"client_hits"`
+	P50LatencyMS float64  `json:"p50_latency_ms"`
+	P99LatencyMS float64  `json:"p99_latency_ms"`
+	CSR          *float64 `json:"csr,omitempty"`
+	HitRatio     *float64 `json:"hit_ratio,omitempty"`
+	Admissions   int64    `json:"admissions,omitempty"`
+	Evictions    int64    `json:"evictions,omitempty"`
+	Resident     int      `json:"resident,omitempty"`
+	BufferedHits *int64   `json:"buffered_hits,omitempty"`
+	PromotesShed *int64   `json:"promotes_shed,omitempty"`
+	Theta        *float64 `json:"theta,omitempty"`
+	SerialCSR    *float64 `json:"serial_csr,omitempty"`
+	CSRDelta     *float64 `json:"csr_delta,omitempty"`
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// durationMS renders a duration as fractional milliseconds.
+func durationMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// latPercentile reads the p-quantile (nearest-rank) off an ascending
+// latency slice.
+func latPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}
+
+// fetchServerTheta reads the live server's adaptive admission threshold;
+// ok is false when the server runs a static admission policy.
+func fetchServerTheta(client *http.Client, base string) (theta float64, ok bool, err error) {
+	resp, err := client.Get(base + "/v1/admission")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, false, fmt.Errorf("server returned %s: %s", resp.Status, msg)
+	}
+	var st server.AdmissionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, false, err
+	}
+	return st.Threshold, st.Enabled, nil
 }
 
 // printSlowlog renders the N slowest recorded spans after a replay. With
@@ -539,13 +662,17 @@ func fetchSlowlog(client *http.Client, base string, n int) ([]server.SpanJSON, e
 }
 
 // replayConcurrent streams the trace through ref from n workers pulling
-// records off one shared cursor, preserving approximate global order.
-func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elapsed time.Duration, err error) {
+// records off one shared cursor, preserving approximate global order. The
+// returned latency slice holds one per-reference duration per replayed
+// record (indexed by record position up to where the replay reached), for
+// the percentile rows of the summary.
+func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elapsed time.Duration, lats []time.Duration, err error) {
 	var next, hitCount atomic.Int64
 	// Pointer CAS keeps the stored type uniform: atomic.Value would panic
 	// if two workers raced to store errors of different concrete types.
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
+	lats = make([]time.Duration, tr.Len())
 	start := time.Now()
 	for w := 0; w < n; w++ {
 		wg.Add(1)
@@ -556,7 +683,9 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 				if i >= int64(tr.Len()) || firstErr.Load() != nil {
 					return
 				}
+				t0 := time.Now()
 				hit, err := ref(&tr.Records[i])
+				lats[i] = time.Since(t0)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, &err)
 					return
@@ -569,9 +698,9 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 	}
 	wg.Wait()
 	if e := firstErr.Load(); e != nil {
-		return 0, 0, *e
+		return 0, 0, nil, *e
 	}
-	return hitCount.Load(), time.Since(start), nil
+	return hitCount.Load(), time.Since(start), lats, nil
 }
 
 // postReference sends one trace record to a live server's /v1/reference.

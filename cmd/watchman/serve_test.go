@@ -114,7 +114,7 @@ func TestReplayConcurrentCoversTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := make([]int32, tr.Len())
-	_, _, err = replayConcurrent(tr, 16, func(rec *trace.Record) (bool, error) {
+	_, _, _, err = replayConcurrent(tr, 16, func(rec *trace.Record) (bool, error) {
 		atomic.AddInt32(&seen[rec.Seq], 1)
 		return false, nil
 	})

@@ -324,3 +324,39 @@ func TestTuneOnceSkipsTinyWindows(t *testing.T) {
 		t.Error("TuneOnce scored a window below minRoundSamples")
 	}
 }
+
+// TestArmScores pins the /v1/admission arms surface: one entry per grid
+// candidate in grid order, unseeded before any round, and carrying each
+// shadow's cumulative replay standing afterwards.
+func TestArmScores(t *testing.T) {
+	grid := []float64{0.25, 1, 4}
+	tu, err := New(Config{Capacity: 8192, K: 2, Window: 16, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := tu.ArmScores()
+	if len(arms) != len(grid) {
+		t.Fatalf("arms = %d, want %d", len(arms), len(grid))
+	}
+	for i, a := range arms {
+		if a.Theta != grid[i] {
+			t.Errorf("arm %d θ=%g, want grid order %g", i, a.Theta, grid[i])
+		}
+		if a.Seeded || a.References != 0 {
+			t.Errorf("arm θ=%g scored before any round: %+v", a.Theta, a)
+		}
+	}
+
+	p := tu.NewProfile()
+	for i := 0; i < 16; i++ {
+		p.Record(sampleFor(fmt.Sprintf("q%d", i%5), 500, 250, float64(i+1)))
+	}
+	if _, ok := tu.TuneOnce(); !ok {
+		t.Fatal("full window must score")
+	}
+	for _, a := range tu.ArmScores() {
+		if !a.Seeded || a.References != 16 {
+			t.Errorf("arm θ=%g after one round: %+v, want seeded with 16 references", a.Theta, a)
+		}
+	}
+}

@@ -25,9 +25,12 @@ const (
 	DefaultEpsilon = 0.005
 	// DefaultHistory is the number of tuning rounds kept for diagnostics.
 	DefaultHistory = 64
+	// MinWindow is the smallest Config.Window New accepts; callers that
+	// derive a window (e.g. scaling by a sampling rate) clamp against it.
+	MinWindow = 16
 	// minRoundSamples is the smallest window the tuner will score; tiny
 	// windows (e.g. a drain racing a concurrent round) carry no signal.
-	minRoundSamples = 16
+	minRoundSamples = MinWindow
 )
 
 // DefaultGrid returns the default log-spaced candidate grid for θ: 13
@@ -221,6 +224,44 @@ func (t *Tuner) Window() int { return t.cfg.Window }
 func (t *Tuner) Grid() []float64 {
 	out := make([]float64, len(t.cfg.Grid))
 	copy(out, t.cfg.Grid)
+	return out
+}
+
+// ArmScore is one grid candidate's live shadow-cache standing, read
+// outside a tuning round (the /v1/admission arms section).
+type ArmScore struct {
+	// Theta is the candidate threshold.
+	Theta float64 `json:"theta"`
+	// Smoothed is the cross-round EMA of windowed CSR; meaningful only
+	// once Seeded is true (at least one completed round).
+	Smoothed float64 `json:"smoothed"`
+	// Seeded reports whether the arm has been scored by a round yet.
+	Seeded bool `json:"seeded"`
+	// TotalCSR is the shadow cache's cumulative cost savings ratio over
+	// every sample replayed since the tuner was created — a brute-force
+	// replay of the recorded trace under Theta.
+	TotalCSR float64 `json:"total_csr"`
+	// References is the number of samples the shadow has replayed.
+	References int64 `json:"references"`
+}
+
+// ArmScores snapshots every candidate threshold's shadow standing, in
+// grid order. It takes the tuner mutex and so excludes a concurrent
+// round; the snapshot is round-consistent.
+func (t *Tuner) ArmScores() []ArmScore {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ArmScore, len(t.arms))
+	for i, a := range t.arms {
+		st := a.cache.Stats()
+		out[i] = ArmScore{
+			Theta:      a.theta,
+			Smoothed:   a.score,
+			Seeded:     a.seeded,
+			TotalCSR:   st.CostSavingsRatio(),
+			References: st.References,
+		}
+	}
 	return out
 }
 

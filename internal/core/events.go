@@ -141,6 +141,17 @@ type Event struct {
 	Derived bool
 }
 
+// Sig returns the signature of the event's query ID, reading it off the
+// attached Entry when one exists (hits and admissions carry the entry) and
+// hashing the ID otherwise (external misses, recordless rejections). Both
+// paths yield the same value: entries store Signature(ID) at creation.
+func (ev Event) Sig() uint64 {
+	if ev.Entry != nil {
+		return ev.Entry.Sig
+	}
+	return Signature(ev.ID)
+}
+
 // EventSink observes lifecycle events. Implementations run under the
 // cache's execution context (single-threaded, or with the owning shard's
 // mutex held), must not call back into the cache, and must be cheap: the

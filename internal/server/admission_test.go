@@ -55,6 +55,9 @@ func TestAdmissionEndpointEnabled(t *testing.T) {
 	if len(resp.Grid) != len(admission.DefaultGrid()) {
 		t.Errorf("grid has %d candidates, want %d", len(resp.Grid), len(admission.DefaultGrid()))
 	}
+	if len(resp.Arms) != len(resp.Grid) {
+		t.Errorf("arms = %d, want one per grid candidate (%d)", len(resp.Arms), len(resp.Grid))
+	}
 
 	for i := 0; i < 80; i++ {
 		postJSON(t, ts.URL+"/v1/reference", ReferenceRequest{
@@ -67,5 +70,12 @@ func TestAdmissionEndpointEnabled(t *testing.T) {
 	}
 	if len(resp.Rounds) == 0 {
 		t.Error("tuning history empty after a completed round")
+	}
+	// After a tuning round every shadow arm has replayed the profile
+	// window, so the per-arm scores must show traffic.
+	for _, arm := range resp.Arms {
+		if arm.References == 0 {
+			t.Errorf("arm θ=%g replayed no references after a tuning round", arm.Theta)
+		}
 	}
 }

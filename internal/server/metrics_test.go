@@ -14,26 +14,34 @@ import (
 	"repro/internal/core"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/whatif"
 )
 
 // itoa shortens the int64 → decimal string conversions in assertions.
 func itoa(n int64) string { return strconv.FormatInt(n, 10) }
 
 // newTelemetryServer builds a test server over a sharded cache with a
-// telemetry registry attached and replays a small mixed-class workload
-// through the HTTP reference endpoint.
+// telemetry registry and a rate-1 what-if matrix attached, and replays a
+// small mixed-class workload through the HTTP reference endpoint.
 func newTelemetryServer(t *testing.T) (*httptest.Server, *shard.Sharded) {
 	t.Helper()
+	base := core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA}
+	ghosts, err := whatif.New(whatif.Config{Base: base, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sc, err := shard.New(shard.Config{
 		Shards:   4,
-		Cache:    core.Config{Capacity: 1 << 20, K: 2, Policy: core.LNCRA},
+		Cache:    base,
 		Registry: telemetry.NewRegistry(),
+		WhatIf:   ghosts,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(New(sc).Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(sc.Close)
 
 	for i := 0; i < 40; i++ {
 		body := strings.NewReader(`{"query_id":"q ` + string(rune('a'+i%8)) + `","class":` +
@@ -80,6 +88,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"watchman_load_latency_seconds_sum", "watchman_load_latency_seconds_count",
 		"watchman_resident_sets", "watchman_used_bytes", "watchman_capacity_bytes",
 		"watchman_shards 4",
+		`watchman_whatif_csr{capacity="0.25x",policy="lnc-ra"}`,
+		`watchman_whatif_csr{capacity="4x",policy="lru-k"}`,
+		"watchman_whatif_refs_total", "watchman_whatif_sampled_ratio 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)

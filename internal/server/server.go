@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"repro/internal/admission"
@@ -150,11 +151,15 @@ type SnapshotStatus struct {
 // candidate-grid configuration, and the retained round history (most
 // recent first).
 type AdmissionResponse struct {
-	Enabled   bool              `json:"enabled"`
-	Threshold float64           `json:"threshold,omitempty"`
-	Window    int               `json:"window,omitempty"`
-	Grid      []float64         `json:"grid,omitempty"`
-	Rounds    []admission.Round `json:"rounds,omitempty"`
+	Enabled   bool      `json:"enabled"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Window    int       `json:"window,omitempty"`
+	Grid      []float64 `json:"grid,omitempty"`
+	// Arms reports every candidate threshold's live shadow-cache standing
+	// (smoothed and cumulative CSR), in grid order — the tuner's own
+	// what-if view, not just the θ it published.
+	Arms   []admission.ArmScore `json:"arms,omitempty"`
+	Rounds []admission.Round    `json:"rounds,omitempty"`
 }
 
 // SnapshotResponse is the body of a successful POST /v1/snapshot.
@@ -191,6 +196,7 @@ func New(cache *shard.Sharded) *Server {
 	s.mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
+	s.mux.HandleFunc("GET /v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -320,8 +326,31 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 		Threshold: tuner.Threshold(),
 		Window:    tuner.Window(),
 		Grid:      tuner.Grid(),
+		Arms:      tuner.ArmScores(),
 		Rounds:    tuner.Rounds(),
 	})
+}
+
+// handleWhatIf serves the ghost-cache matrix report: per-cell estimated
+// CSR, per-policy miss-ratio curves and the capacity/policy advisor
+// verdict. The optional margin query parameter overrides the CSR
+// improvement the advisor requires before recommending a configuration.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	m := s.cache.WhatIf()
+	if m == nil {
+		writeError(w, http.StatusNotFound, "what-if matrix not enabled (serve -whatif)")
+		return
+	}
+	margin := 0.0 // Report treats ≤0 as the default margin
+	if raw := r.URL.Query().Get("margin"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			writeError(w, http.StatusBadRequest, "margin must be a number in (0, 1), got %q", raw)
+			return
+		}
+		margin = v
+	}
+	writeJSON(w, http.StatusOK, m.Report(margin))
 }
 
 // durationMS renders a duration as fractional milliseconds for the JSON
@@ -499,6 +528,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("watchman_promotes_skipped", "Promotions shed because a shard's apply queue was full.", st.PromotesSkipped)
 		gauge("watchman_promotes_sampled", "Promotions skipped by gets-per-promote sampling.", st.PromotesSampled)
 		gauge("watchman_pending_applies", "Hit applications queued but not yet applied.", st.PendingApplies)
+	}
+	if m := s.cache.WhatIf(); m != nil {
+		m.WritePrometheusTo(w)
 	}
 	fmt.Fprintf(w, "# HELP watchman_build_info Build metadata; the value is always 1.\n"+
 		"# TYPE watchman_build_info gauge\n"+

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/whatif"
+)
+
+func TestWhatIfEndpointDisabled(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/v1/whatif", nil); code != http.StatusNotFound {
+		t.Fatalf("GET /v1/whatif without a matrix = %d, want 404", code)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	ts, sc := newTelemetryServer(t)
+	var rep whatif.Report
+	if code := getJSON(t, ts.URL+"/v1/whatif", &rep); code != http.StatusOK {
+		t.Fatalf("GET /v1/whatif = %d, want 200", code)
+	}
+	m := sc.WhatIf()
+	if m == nil {
+		t.Fatal("telemetry server must carry a what-if matrix")
+	}
+	if rep.SampleRate != 1 || rep.SampledRatio != 1 {
+		t.Errorf("rate-1 matrix reports rate %d ratio %v", rep.SampleRate, rep.SampledRatio)
+	}
+	if rep.RefsSeen != sc.Stats().References {
+		t.Errorf("matrix saw %d refs, cache served %d", rep.RefsSeen, sc.Stats().References)
+	}
+	if len(rep.Cells) != m.CellCount() {
+		t.Errorf("report has %d cells, matrix has %d", len(rep.Cells), m.CellCount())
+	}
+	for _, c := range rep.Cells {
+		if c.References != rep.RefsSeen {
+			t.Errorf("cell %s/%vx replayed %d of %d refs", c.Policy, c.Scale, c.References, rep.RefsSeen)
+		}
+	}
+	if len(rep.Curves) != len(whatif.DefaultPolicies()) {
+		t.Errorf("curves = %d, want %d", len(rep.Curves), len(whatif.DefaultPolicies()))
+	}
+	if rep.Advisor.BaselinePolicy != "lnc-ra" || rep.Advisor.Reason == "" {
+		t.Errorf("advisor = %+v", rep.Advisor)
+	}
+
+	// The margin query parameter overrides the advisor bar; out-of-range
+	// values are rejected.
+	if code := getJSON(t, ts.URL+"/v1/whatif?margin=0.5", &rep); code != http.StatusOK {
+		t.Fatalf("GET /v1/whatif?margin=0.5 = %d, want 200", code)
+	}
+	if rep.Advisor.Margin != 0.5 {
+		t.Errorf("margin override = %v, want 0.5", rep.Advisor.Margin)
+	}
+	for _, bad := range []string{"2", "0", "-1", "x"} {
+		if code := getJSON(t, ts.URL+"/v1/whatif?margin="+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("margin=%s = %d, want 400", bad, code)
+		}
+	}
+}

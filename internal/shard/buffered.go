@@ -355,6 +355,12 @@ func (s *Sharded) Drain() {
 	for _, sh := range s.shards {
 		s.drainShard(sh)
 	}
+	if s.whatif != nil {
+		// Flushed promotions above may have emitted hit events into the
+		// ghost matrix; barrier it too so the ghosts reflect everything
+		// enqueued before the call.
+		s.whatif.Drain()
+	}
 }
 
 // PendingApplies reports how many promotions are enqueued but not yet
@@ -370,33 +376,42 @@ func (s *Sharded) PendingApplies() int64 {
 	return n
 }
 
-// Close flushes every buffer and stops the per-shard apply workers. The
+// Close flushes every buffer, stops the per-shard apply workers and shuts
+// down the what-if ghost matrix (after the flushed events reach it). The
 // cache remains fully usable afterwards — references simply take the
 // locked path, exactly as with Buffered off — so a graceful shutdown can
 // Close the workers before the final snapshot flush. Idempotent, and a
-// no-op when buffering is off.
+// no-op when neither buffering nor the ghost matrix is on.
 func (s *Sharded) Close() {
-	if !s.buffered || !s.closed.CompareAndSwap(false, true) {
+	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, sh := range s.shards {
-		op := bufOp{done: make(chan struct{}), stop: true}
-		select {
-		case sh.buf.ops <- op:
+	if s.buffered {
+		for _, sh := range s.shards {
+			op := bufOp{done: make(chan struct{}), stop: true}
 			select {
-			case <-op.done:
+			case sh.buf.ops <- op:
+				select {
+				case <-op.done:
+				case <-sh.buf.stopped:
+				}
 			case <-sh.buf.stopped:
 			}
-		case <-sh.buf.stopped:
+		}
+		s.workerWG.Wait()
+		// Catch promotions from fast-path callers that raced the shutoff:
+		// the workers are gone, so flush inline. Anything enqueued after
+		// THIS stays queued, but its counts live in the deferred cells —
+		// no reference is ever lost — and any later Drain/ExportState
+		// flushes it.
+		for _, sh := range s.shards {
+			s.flushPromotes(sh, make([]promotion, 0, applyBatchSize))
 		}
 	}
-	s.workerWG.Wait()
-	// Catch promotions from fast-path callers that raced the shutoff: the
-	// workers are gone, so flush inline. Anything enqueued after THIS
-	// stays queued, but its counts live in the deferred cells — no
-	// reference is ever lost — and any later Drain/ExportState flushes it.
-	for _, sh := range s.shards {
-		s.flushPromotes(sh, make([]promotion, 0, applyBatchSize))
+	if s.whatif != nil {
+		// Last, so the buffered flush's hit events are applied to the
+		// ghosts before the matrix worker exits.
+		s.whatif.Close()
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	flightrec "repro/internal/flight" // aliased: this package's singleflight struct is also named flight
 	"repro/internal/telemetry"
+	"repro/internal/whatif"
 )
 
 // Request is one query submission; it aliases core.Request so callers of
@@ -87,6 +88,14 @@ type Config struct {
 	// path are timed so spans attribute their wall time. Nil keeps the
 	// lifecycle untraced (zero overhead beyond a nil check per hook).
 	Recorder *flightrec.Recorder
+	// WhatIf, if non-nil, attaches the ghost-cache matrix: every shard's
+	// lifecycle events fan into it (sampled references feed the
+	// counterfactual grid), Invalidate forwards coherence to the ghosts
+	// exactly as it does to the admission tuner's shadows, and Close
+	// stops the matrix worker after the queued slice is applied. The
+	// caller builds the matrix (whatif.New) from the same total-capacity
+	// Config passed here.
+	WhatIf *whatif.Matrix
 	// Now supplies the logical-seconds timestamp for requests whose Time
 	// is zero. Nil selects WallClock(), anchored at construction.
 	Now func() float64
@@ -246,6 +255,7 @@ type Sharded struct {
 	reg     *telemetry.Registry
 	deriver core.Deriver
 	rec     *flightrec.Recorder
+	whatif  *whatif.Matrix
 
 	loaderCalls atomic.Int64
 	coalesced   atomic.Int64
@@ -292,6 +302,7 @@ func New(cfg Config) (*Sharded, error) {
 		reg:            cfg.Registry,
 		deriver:        cfg.Deriver,
 		rec:            cfg.Recorder,
+		whatif:         cfg.WhatIf,
 		buffered:       cfg.Buffered,
 		getsPerPromote: max(cfg.GetsPerPromote, 1),
 	}
@@ -330,6 +341,12 @@ func New(cfg Config) (*Sharded, error) {
 			// admission/eviction decision records via the event stream.
 			scfg.Tracer = s.rec.ShardTracer(i)
 			scfg.Sink = core.MultiSink(scfg.Sink, s.rec.ShardSink(i))
+		}
+		if s.whatif != nil {
+			// All shards share one matrix: its Emit only samples, counts
+			// and enqueues, so it is safe (and cheap) under any shard's
+			// lock.
+			scfg.Sink = core.MultiSink(scfg.Sink, s.whatif)
 		}
 		var buf *shardBuffers
 		if s.buffered {
@@ -423,6 +440,10 @@ func (s *Sharded) Registry() *telemetry.Registry { return s.reg }
 // FlightRecorder returns the flight recorder capturing this cache's spans
 // and decision records, or nil when tracing is disabled.
 func (s *Sharded) FlightRecorder() *flightrec.Recorder { return s.rec }
+
+// WhatIf returns the ghost-cache matrix fed by this cache's event stream,
+// or nil when what-if observability is disabled.
+func (s *Sharded) WhatIf() *whatif.Matrix { return s.whatif }
 
 // accountExternal charges a Load outcome that never reached the core miss
 // lifecycle — a stale singleflight result or a failed loader execution —
@@ -674,6 +695,11 @@ func (s *Sharded) Invalidate(relations ...string) int {
 		// Keep the shadow caches coherent too, or candidate scores would
 		// credit hits on sets the live cache just dropped.
 		s.tuner.Invalidate(relations...)
+	}
+	if s.whatif != nil {
+		// Same coherence path as the tuner shadows: the ghosts drop the
+		// relations once, in stream order relative to sampled references.
+		s.whatif.Invalidate(relations...)
 	}
 	return dropped
 }

@@ -27,6 +27,13 @@ import (
 // that land mid-export appear in some shards and not others, the same
 // tolerance Stats() already has.
 func (s *Sharded) ExportState() *persist.Snapshot {
+	if s.whatif != nil {
+		// Quiesce the ghost matrix relative to the capture point: events
+		// emitted before this call are applied before shards are read, so
+		// a what-if report taken around a snapshot brackets the same
+		// stream prefix the image does.
+		s.whatif.Drain()
+	}
 	snap := &persist.Snapshot{Shards: make([]*core.CacheState, len(s.shards))}
 	for i, sh := range s.shards {
 		// Buffered mode: flush this shard's pending hit applications right
@@ -100,6 +107,11 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // The returned SnapshotInfo has no Path: that belongs to the
 // Snapshotter's file lifecycle.
 func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
+	if s.whatif != nil {
+		// Same drain barrier as ExportState: ghosts quiesce against the
+		// stream prefix this capture will observe.
+		s.whatif.Drain()
+	}
 	start := time.Now()
 	var maxPause time.Duration
 	pause := func(t0 time.Time) {

@@ -111,6 +111,20 @@
 // GET /v1/explain/{id} with the admission inequality spelled out — and
 // mounts net/http/pprof under /debug/pprof. Both hooks are nil-guarded:
 // a cache without a registry or recorder pays nothing for them.
+//
+// A WhatIfMatrix answers counterfactual capacity and policy questions
+// live: it replays a deterministic hash-sampled slice of the reference
+// stream into a grid of ghost caches (capacity ladder × policy set) and
+// reports each configuration's estimated CSR, per-policy miss-ratio
+// curves, and an advisor verdict naming the cheapest configuration that
+// would beat the current one:
+//
+//	ghosts, err := watchman.NewWhatIfMatrix(watchman.WhatIfConfig{Base: cacheCfg})
+//	cache, err := watchman.NewSharded(watchman.ShardedConfig{Cache: cacheCfg, WhatIf: ghosts})
+//
+// `watchman serve -whatif` exposes the matrix at GET /v1/whatif and as
+// watchman_whatif_* Prometheus families; `watchman compare -whatif`
+// runs the same grid over an offline trace.
 package watchman
 
 import (
@@ -124,6 +138,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/whatif"
 )
 
 // Config parameterizes a Cache. See the field documentation in the aliased
@@ -432,6 +447,32 @@ type FlightDecision = flight.Decision
 // NewFlightRecorder creates a flight recorder; the zero FlightConfig
 // selects every default.
 func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return flight.New(cfg) }
+
+// WhatIfMatrix is the live ghost-cache grid: counterfactual (capacity ×
+// policy) configurations continuously re-simulated from a hash-sampled
+// slice of the reference stream. Attach one via ShardedConfig.WhatIf;
+// read it with Matrix.Report or the watchman_whatif_* Prometheus
+// families. Unsampled references cost no allocation and no lock on the
+// hot path; sampled ones are applied by a background worker.
+type WhatIfMatrix = whatif.Matrix
+
+// WhatIfConfig parameterizes a WhatIfMatrix: the live cache's base
+// Config, the 1-in-R sampling rate (ghost capacities are scaled by 1/R),
+// the capacity ladder and policy set, and the advisor baseline.
+type WhatIfConfig = whatif.Config
+
+// WhatIfPolicy is one policy-axis entry of the ghost matrix.
+type WhatIfPolicy = whatif.Policy
+
+// WhatIfReport is the full matrix snapshot: per-cell estimates,
+// per-policy miss-ratio curves and the advisor verdict. GET /v1/whatif
+// serves it as JSON.
+type WhatIfReport = whatif.Report
+
+// NewWhatIfMatrix builds a ghost-cache matrix and starts its background
+// worker; Close it (or Sharded.Close, which closes an attached matrix)
+// to stop.
+func NewWhatIfMatrix(cfg WhatIfConfig) (*WhatIfMatrix, error) { return whatif.New(cfg) }
 
 // RegretTracker accumulates the regret report from a cache's event
 // stream: signatures that admission rejected and that were referenced
