@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp drops content into a fresh temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSummarizeEmptyInput pins the empty-log edge cases: a zero-byte
+// file and a well-formed go test -json stream with no benchmark result
+// lines must both fail loudly — an empty summary silently committed as a
+// baseline would turn the regression gate into a no-op.
+func TestSummarizeEmptyInput(t *testing.T) {
+	empty := writeTemp(t, "empty.json", "")
+	if err := runSummarize(empty, filepath.Join(t.TempDir(), "out.json")); err == nil {
+		t.Fatal("summarizing an empty file must error")
+	} else if !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Fatalf("error must say what was missing, got: %v", err)
+	}
+
+	noBench := writeTemp(t, "nobench.json",
+		`{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t0.5s\n"}
+`)
+	if err := runSummarize(noBench, ""); err == nil || !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Fatalf("a log without benchmarks must error, got: %v", err)
+	}
+
+	// Not a go test -json stream at all: the parser must identify the
+	// file rather than produce an empty summary.
+	garbage := writeTemp(t, "garbage.json", "BenchmarkFoo 100 10 ns/op\n")
+	if err := runSummarize(garbage, ""); err == nil || !strings.Contains(err.Error(), "not a go test -json log") {
+		t.Fatalf("plain bench text is not a -json log, got: %v", err)
+	}
+}
+
+// TestGateRawBaselineSummaryCandidate gates the format mix the bench job
+// does not exercise (raw baseline, summarized candidate): detection is
+// per-file, so either side may be either format.
+func TestGateRawBaselineSummaryCandidate(t *testing.T) {
+	raw := writeTemp(t, "raw.json", rawLog)
+	compact := filepath.Join(t.TempDir(), "summary.json")
+	if err := runSummarize(raw, compact); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadRefsPerSec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := loadRefsPerSec(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, failed := gate(base, cand, "", 0.30)
+	if failed {
+		t.Fatalf("summary of the same log must pass against its raw source:\n%s", report)
+	}
+	// The summary keeps only the best observation; the gate must have
+	// compared best-vs-best, not best-vs-first.
+	if !strings.Contains(report, "baseline 900000 refs/s, candidate 900000 refs/s") {
+		t.Fatalf("expected best-vs-best comparison in report:\n%s", report)
+	}
+}
+
+// TestGateMetricOnOneSide pins the one-sided cells: a benchmark whose
+// refs/s exists only in the baseline must FAIL (a silently dropped cell
+// is not "no regression"), one that exists only in the candidate is
+// outside the gate, and a baseline filter that matches nothing is
+// reported as an empty verdict for main to reject.
+func TestGateMetricOnOneSide(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkShardedReference/whatif=off-8": {800000},
+		"BenchmarkOnlyInBaseline":                {500000},
+	}
+	cand := map[string][]float64{
+		"BenchmarkShardedReference/whatif=off-8": {790000},
+		"BenchmarkOnlyInCandidate":               {100},
+	}
+
+	report, failed := gate(base, cand, "", 0.30)
+	if !failed {
+		t.Fatalf("baseline-only benchmark must fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkOnlyInBaseline") || !strings.Contains(report, "missing from candidate") {
+		t.Fatalf("verdict must name the dropped cell:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkOnlyInCandidate") {
+		t.Fatalf("candidate-only benchmarks are not gated:\n%s", report)
+	}
+
+	// A benchmark that lost its refs/s metric (e.g. the custom metric was
+	// renamed) disappears from loadRefsPerSec's map and must surface as a
+	// dropped cell, not a pass.
+	lost := writeTemp(t, "lost.json",
+		`{"Action":"output","Package":"repro","Output":"BenchmarkOnlyInBaseline \t 100\t 10 ns/op\t 0 allocs/op\n"}
+`)
+	candLost, err := loadRefsPerSec(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, failed = gate(map[string][]float64{"BenchmarkOnlyInBaseline": {500000}}, candLost, "", 0.30)
+	if !failed || !strings.Contains(report, "missing from candidate") {
+		t.Fatalf("metric lost on one side must fail:\n%s", report)
+	}
+
+	// Filter matching nothing: empty report, which main treats as a
+	// configuration error.
+	report, failed = gate(base, cand, "no-such-benchmark", 0.30)
+	if report != "" || failed {
+		t.Fatalf("unmatched filter must yield an empty, non-failing report, got failed=%v:\n%s", failed, report)
+	}
+}

@@ -1,11 +1,15 @@
 // Command doccheck is the repository's documentation linter, run by the CI
-// docs job. It enforces two invariants without external dependencies:
+// docs job. It enforces three invariants without external dependencies:
 //
 //  1. every exported identifier (functions, methods, types, consts, vars)
 //     in every non-test Go file carries a doc comment, and every package
 //     has a package-level doc comment — the revive/golint "exported" rule;
 //  2. every relative markdown link in README.md and docs/*.md resolves to
-//     a file that exists.
+//     a file that exists;
+//  3. every analyzer registered in the static-analysis suite (the list
+//     cmd/watchmanlint runs) is documented under a `## <name>` heading in
+//     docs/ANALYSIS.md, and no heading there names an analyzer that no
+//     longer exists.
 //
 // Usage:
 //
@@ -25,6 +29,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 func main() {
@@ -35,6 +41,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkGoDocs(root)...)
 	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkAnalyzerDocs(root)...)
 	for _, p := range problems {
 		fmt.Println(p)
 	}
@@ -201,6 +208,56 @@ func checkMarkdownLinks(root string) []string {
 						fmt.Sprintf("%s:%d: broken link %q (no file at %s)", file, i+1, target, resolved))
 				}
 			}
+		}
+	}
+	return problems
+}
+
+// analyzerHeading matches a `## <name>` heading whose name has the shape
+// of an analyzer (one lower-case word); prose headings like
+// "## Annotation vocabulary" do not match.
+var analyzerHeading = regexp.MustCompile(`^## ([a-z][a-z0-9]*)$`)
+
+// checkAnalyzerDocs verifies docs/ANALYSIS.md against the registered
+// analyzer suite: every analyzer in analysis.All must have a `## <name>`
+// section, and every analyzer-shaped heading must name a registered
+// analyzer (a stale section is as misleading as a missing one).
+func checkAnalyzerDocs(root string) []string {
+	path := filepath.Join(root, "docs", "ANALYSIS.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (every registered analyzer must be documented there)", path, err)}
+	}
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	return analyzerDocProblems(path, string(data), names)
+}
+
+// analyzerDocProblems is the testable core of checkAnalyzerDocs: it
+// diffs the analyzer-shaped headings of the document against the
+// registered names.
+func analyzerDocProblems(path, content string, names []string) []string {
+	documented := map[string]int{}
+	for i, line := range strings.Split(content, "\n") {
+		if m := analyzerHeading.FindStringSubmatch(strings.TrimRight(line, " \t")); m != nil {
+			documented[m[1]] = i + 1
+		}
+	}
+	var problems []string
+	registered := map[string]bool{}
+	for _, name := range names {
+		registered[name] = true
+		if _, ok := documented[name]; !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: analyzer %q is registered in the suite but has no \"## %s\" section", path, name, name))
+		}
+	}
+	for name, line := range documented {
+		if !registered[name] {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: heading \"## %s\" documents an analyzer that is not registered", path, line, name))
 		}
 	}
 	return problems

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAnalyzerDocProblems pins the ANALYSIS.md ↔ registry diff in both
+// directions: a registered analyzer without a section and a section
+// without a registered analyzer are each one problem, and prose headings
+// never count as analyzer sections.
+func TestAnalyzerDocProblems(t *testing.T) {
+	names := []string{"accounthonesty", "timesource"}
+
+	complete := "# Static analysis\n\n## Annotation vocabulary\n\nprose\n\n" +
+		"## accounthonesty\n\ntext\n\n## timesource\n\ntext\n"
+	if got := analyzerDocProblems("docs/ANALYSIS.md", complete, names); len(got) != 0 {
+		t.Fatalf("complete doc must pass, got %v", got)
+	}
+
+	missing := "## accounthonesty\n"
+	got := analyzerDocProblems("docs/ANALYSIS.md", missing, names)
+	if len(got) != 1 || !strings.Contains(got[0], `"## timesource"`) {
+		t.Fatalf("missing section must be exactly one problem naming it, got %v", got)
+	}
+
+	stale := complete + "\n## lockencode\n\nghost of a removed analyzer\n"
+	got = analyzerDocProblems("docs/ANALYSIS.md", stale, names)
+	if len(got) != 1 || !strings.Contains(got[0], "not registered") {
+		t.Fatalf("stale section must be exactly one problem, got %v", got)
+	}
+
+	// A heading with prose shape must not be mistaken for an analyzer.
+	prose := complete + "\n## Adding an analyzer\n"
+	if got := analyzerDocProblems("docs/ANALYSIS.md", prose, names); len(got) != 0 {
+		t.Fatalf("prose headings must not count, got %v", got)
+	}
+}
+
+// TestAnalyzerDocsAgainstRepo runs the real check against the real
+// document from the module root, so the test fails the moment an
+// analyzer is added without documentation.
+func TestAnalyzerDocsAgainstRepo(t *testing.T) {
+	if got := checkAnalyzerDocs("../.."); len(got) != 0 {
+		t.Fatalf("docs/ANALYSIS.md out of sync with analysis.All(): %v", got)
+	}
+	if len(analysis.All()) == 0 {
+		t.Fatal("registry is empty; the check would be vacuous")
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+// This file is the CLI's designated time-source file: the only place in
+// cmd/watchman allowed to read the process clock. loadgen measures
+// wall-clock latency percentiles and total run time here; everything the
+// cache itself observes flows through the serving layer's injected time
+// source, keeping replays deterministic. The timesource analyzer
+// (cmd/watchmanlint) enforces that no other file in the package reads
+// the clock.
+//
+//watchman:timesource
+
+import "time"
+
+// monotime returns the current clock reading, for later measurement with
+// since.
+func monotime() time.Time { return time.Now() }
+
+// since returns the wall time elapsed from a monotime reading.
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -673,7 +673,7 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	lats = make([]time.Duration, tr.Len())
-	start := time.Now()
+	start := monotime()
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func() {
@@ -683,9 +683,9 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 				if i >= int64(tr.Len()) || firstErr.Load() != nil {
 					return
 				}
-				t0 := time.Now()
+				t0 := monotime()
 				hit, err := ref(&tr.Records[i])
-				lats[i] = time.Since(t0)
+				lats[i] = since(t0)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, &err)
 					return
@@ -700,7 +700,7 @@ func replayConcurrent(tr *trace.Trace, n int, ref referencer) (hits int64, elaps
 	if e := firstErr.Load(); e != nil {
 		return 0, 0, nil, *e
 	}
-	return hitCount.Load(), time.Since(start), lats, nil
+	return hitCount.Load(), since(start), lats, nil
 }
 
 // postReference sends one trace record to a live server's /v1/reference.

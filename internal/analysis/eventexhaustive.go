@@ -1,0 +1,115 @@
+package analysis
+
+// eventexhaustive: a switch over an enum-like named type (core.EventKind
+// above all) with no default clause must cover every declared constant
+// of the type. EventRestore (PR 5) and EventHitDerived (PR 4) were each
+// added after event sinks already existed; a sink switching on Kind
+// without a default silently drops the new kind — the derivation index
+// missing restores, the read index missing a residency change — and
+// nothing fails until an integration test notices diverged state.
+// A default clause is an explicit statement that the remaining kinds are
+// handled collectively, so it satisfies the check.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EventExhaustive reports switches over enum-like named constant types
+// that lack both a default clause and full member coverage.
+var EventExhaustive = &Analyzer{
+	Name: "eventexhaustive",
+	Doc: "switches over enum-like named types (core.EventKind and friends) must " +
+		"cover every declared constant or carry a default clause, so adding a " +
+		"lifecycle kind cannot silently bypass an existing sink",
+	Run: runEventExhaustive,
+}
+
+// runEventExhaustive inspects every expression switch whose tag has an
+// enum-like named type.
+func runEventExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			members := enumMembers(named)
+			if len(members) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if etv, ok := pass.TypesInfo.Types[e]; ok && etv.Value != nil {
+						covered[etv.Value.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.val] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Report(sw.Pos(),
+					"switch over %s is not exhaustive: missing %s (add the cases or a default clause)",
+					types.TypeString(named, types.RelativeTo(pass.Pkg)), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumMember is one declared constant of an enum-like type.
+type enumMember struct{ name, val string }
+
+// enumMembers enumerates the package-level constants of the named type,
+// from the package that declares it. Sentinel count constants (a name
+// beginning with "num"/"Num", like numEventKinds or NumStages) mark the
+// end of an iota block, are never real values, and are excluded.
+func enumMembers(named *types.Named) []enumMember {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var out []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		out = append(out, enumMember{name: name, val: c.Val().ExactString()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].val < out[j].val })
+	return out
+}

@@ -1,0 +1,260 @@
+package analysis
+
+// lockencode: snapshot encoding and loader execution must happen outside
+// shard/core mutexes. PR 8's low-pause streaming snapshots exist because
+// WMSNAP encoding under a shard lock stalls the foreground (the locked
+// baseline measured 196,995 ns/op under snapshot pressure against 604
+// outside it), and PR 1's Loader contract says "the loader runs outside
+// all shard locks" — a loader that re-enters the cache would deadlock,
+// and one that merely blocks holds every follower of the shard hostage.
+// This analyzer mechanizes both: between a mutex Lock/RLock and its
+// Unlock (or to the end of the function when the unlock is deferred), no
+// call may enter package persist and no value of a named Loader function
+// type may be invoked.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockEncode reports persist-package calls and Loader invocations made
+// while a mutex is held.
+var LockEncode = &Analyzer{
+	Name: "lockencode",
+	Doc: "forbids calls into internal/persist encoders and Loader invocations " +
+		"while a shard/core mutex is held: encoding and query execution must run " +
+		"outside locks (bounded lock pauses, no loader re-entrancy)",
+	Run: runLockEncode,
+}
+
+// runLockEncode scans every function body, tracking mutex hold state
+// lexically.
+func runLockEncode(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// lockWalker tracks how many mutexes are lexically held while walking a
+// statement sequence in order. A deferred Unlock does not release — the
+// lock stays held to the end of the function, which is exactly when the
+// deferred call runs.
+type lockWalker struct {
+	pass *Pass
+	held int
+}
+
+// stmts walks one statement list in order.
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// stmt dispatches one statement, updating the hold count for lock calls
+// and checking every contained expression.
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if d := lockDelta(s.X); d != 0 {
+			w.held += d
+			if w.held < 0 {
+				w.held = 0
+			}
+			return
+		}
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at return: the mutex remains held for the
+		// rest of the walk. A deferred Lock would be bizarre; ignore it.
+		// The deferred call's own arguments evaluate now.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs outside this lock scope; its arguments
+		// evaluate now.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		before := w.held
+		w.stmts(s.Body.List)
+		w.held = before
+		if s.Else != nil {
+			w.stmt(s.Else)
+			w.held = before
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		before := w.held
+		w.stmts(s.Body.List)
+		w.held = before
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		before := w.held
+		w.stmts(s.Body.List)
+		w.held = before
+	case *ast.BlockStmt:
+		before := w.held
+		w.stmts(s.List)
+		w.held = before
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		before := w.held
+		for _, cc := range s.Body.List {
+			w.stmts(cc.(*ast.CaseClause).Body)
+			w.held = before
+		}
+	case *ast.TypeSwitchStmt:
+		before := w.held
+		for _, cc := range s.Body.List {
+			w.stmts(cc.(*ast.CaseClause).Body)
+			w.held = before
+		}
+	case *ast.SelectStmt:
+		before := w.held
+		for _, cc := range s.Body.List {
+			w.stmts(cc.(*ast.CommClause).Body)
+			w.held = before
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// expr checks one expression subtree for forbidden calls, without
+// descending into function literals (their bodies run in another
+// context).
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if w.held == 0 {
+			return true
+		}
+		if pkg := calleePackage(w.pass, call); pkg != nil && pkg.Name() == "persist" {
+			pass := w.pass
+			pass.Report(call.Pos(),
+				"call into package persist while a mutex is held: encode outside the lock (chunk under bounded lock slices, encode between them)")
+			return true
+		}
+		if name, ok := loaderCall(w.pass, call); ok {
+			w.pass.Report(call.Pos(),
+				"%s invoked while a mutex is held: loaders run outside all shard locks (publish a flight, unlock, then execute)", name)
+		}
+		return true
+	})
+}
+
+// lockDelta classifies a statement-level call: +1 for Lock/RLock, -1 for
+// Unlock/RUnlock, 0 otherwise.
+func lockDelta(e ast.Expr) int {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return 1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// calleePackage resolves the package a call's callee belongs to, when the
+// callee is a package-level function or method reached by selector.
+func calleePackage(pass *Pass, call *ast.CallExpr) *types.Package {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return obj.Pkg()
+}
+
+// loaderCall reports whether the call invokes a value of a named function
+// type called "Loader" (shard.Loader, or a Config.Loader field).
+func loaderCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return "", false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "Loader" {
+		return "", false
+	}
+	if _, ok := named.Underlying().(*types.Signature); !ok {
+		return "", false
+	}
+	return types.TypeString(named, types.RelativeTo(pass.Pkg)), true
+}

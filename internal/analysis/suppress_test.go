@@ -1,0 +1,50 @@
+package analysis
+
+import "testing"
+
+// TestParseIgnore pins the suppression grammar: the justification is
+// mandatory — a bare ignore must not suppress.
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//lint:ignore accounthonesty config error precedes the lookup", "accounthonesty", true},
+		{"//lint:ignore hotpathalloc x", "hotpathalloc", true},
+		{"//lint:ignore all legacy shim", "all", true},
+		{"//lint:ignore accounthonesty", "", false}, // no justification
+		{"//lint:ignore", "", false},
+		{"// lint:ignore accounthonesty why", "", false}, // not a directive comment
+		{"//nolint:accounthonesty", "", false},           // foreign grammar
+		{"plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseIgnore(c.text)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseIgnore(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+// TestMatchAny pins the pattern grammar of the loader.
+func TestMatchAny(t *testing.T) {
+	cases := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"internal/core", []string{"./..."}, true},
+		{"internal/core", []string{"./internal/..."}, true},
+		{"internal/core", []string{"./internal/core"}, true},
+		{"internal/core", []string{"./internal/shard"}, false},
+		{"internal/coreextra", []string{"./internal/core/..."}, false},
+		{"cmd/watchman", []string{"./internal/..."}, false},
+		{"accounthonesty/a", []string{"accounthonesty/..."}, true},
+	}
+	for _, c := range cases {
+		if got := matchAny(c.rel, c.patterns); got != c.want {
+			t.Errorf("matchAny(%q, %v) = %v; want %v", c.rel, c.patterns, got, c.want)
+		}
+	}
+}

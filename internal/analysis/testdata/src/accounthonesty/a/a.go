@@ -1,0 +1,117 @@
+// Package a fixtures the accounthonesty analyzer: a miniature of
+// shard.Load's singleflight shape, including the exact uncharged-bypass
+// bug the honesty contract (PR 3) fixed — an early return that drops the
+// reference from the Stats denominators.
+package a
+
+import "errors"
+
+var errEarly = errors.New("early")
+
+type request struct{ id string }
+
+type cache struct{}
+
+// Account charges one reference into Stats (vocabulary by name).
+func (c *cache) Account(req request, hit bool) {}
+
+// ReferenceCanonical runs the full reference lifecycle (vocabulary by
+// Reference* prefix).
+func (c *cache) ReferenceCanonical(req request) (bool, any) { return false, nil }
+
+// chargeExternal charges a bypass outcome as an external miss; the
+// annotation adds it to the package's accounting vocabulary.
+//
+//watchman:accounting
+func chargeExternal(c *cache, req request) { c.Account(req, false) }
+
+func bad() bool { return false }
+
+// Load re-introduces the PR 3 bug: the failed-flight path hands the error
+// back without charging the reference that consulted the cache.
+//
+//watchman:accounted
+func Load(c *cache, req request, failed, stale bool) (any, bool, error) {
+	if failed {
+		return nil, false, errEarly // want `return path is not dominated by an accounting call`
+	}
+	if stale {
+		chargeExternal(c, req)
+		return nil, false, nil
+	}
+	hit, p := c.ReferenceCanonical(req)
+	return p, hit, nil
+}
+
+// DeferCovered accounts via defer, which covers every later return.
+//
+//watchman:accounted
+func DeferCovered(c *cache, req request) error {
+	defer c.Account(req, false)
+	if bad() {
+		return errEarly
+	}
+	return nil
+}
+
+// Branches accounts on both arms, so the join is dominated.
+//
+//watchman:accounted
+func Branches(c *cache, req request, hit bool) bool {
+	if hit {
+		c.Account(req, true)
+	} else {
+		c.Account(req, false)
+	}
+	return hit
+}
+
+// OneArm accounts only on the then-arm; the fall-through path reaches the
+// return uncharged.
+//
+//watchman:accounted
+func OneArm(c *cache, req request, hit bool) bool {
+	if hit {
+		c.Account(req, true)
+	}
+	return hit // want `return path is not dominated by an accounting call`
+}
+
+// LoopOnly accounts inside a loop body, which may run zero times.
+//
+//watchman:accounted
+func LoopOnly(c *cache, reqs []request) bool {
+	for _, r := range reqs {
+		c.Account(r, true)
+	}
+	return true // want `return path is not dominated by an accounting call`
+}
+
+// Misconfigured exercises the terminating-then special case (code after
+// the guard runs only via the charged fall-through) and the suppression
+// path: the guard's return precedes any cache consultation, and the
+// ignore directive says so.
+//
+//watchman:accounted
+func Misconfigured(c *cache, ok bool) error {
+	if !ok {
+		//lint:ignore accounthonesty config error precedes the lookup; the cache was never consulted
+		return errEarly
+	}
+	c.Account(request{}, false)
+	return nil
+}
+
+// BareIgnore shows that an ignore without a justification suppresses
+// nothing: the contract requires every exception to say why.
+//
+//watchman:accounted
+func BareIgnore(c *cache) error {
+	//lint:ignore accounthonesty
+	return errEarly // want `return path is not dominated by an accounting call`
+}
+
+// Unannotated is not part of the contract; nothing is flagged.
+func Unannotated(c *cache) error {
+	return errEarly
+}

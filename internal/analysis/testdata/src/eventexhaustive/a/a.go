@@ -1,0 +1,79 @@
+// Package a fixtures the eventexhaustive analyzer: the regression shape
+// is an event sink switching over core.EventKind without a default —
+// adding a lifecycle kind (EventRestore, EventHitDerived) then silently
+// bypasses the sink.
+package a
+
+// EventKind mirrors core.EventKind's iota-block shape.
+type EventKind uint8
+
+const (
+	EventHit EventKind = iota
+	EventMiss
+	EventEvict
+	numEventKinds // sentinel; excluded from coverage
+)
+
+// Bad drops EventEvict on the floor.
+func Bad(k EventKind) int {
+	switch k { // want `switch over EventKind is not exhaustive: missing EventEvict`
+	case EventHit:
+		return 1
+	case EventMiss:
+		return 2
+	}
+	return 0
+}
+
+// Full covers every declared kind; the sentinel is not required.
+func Full(k EventKind) int {
+	switch k {
+	case EventHit, EventMiss, EventEvict:
+		return 1
+	}
+	return 0
+}
+
+// Defaulted states explicitly that the remaining kinds are handled
+// collectively.
+func Defaulted(k EventKind) int {
+	switch k {
+	case EventHit:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// small has fewer than two declared constants, so it is not enum-like.
+type small uint8
+
+const onlyOne small = 0
+
+// NotEnum is not checked: one constant is no enumeration.
+func NotEnum(s small) int {
+	switch s {
+	case onlyOne:
+		return 1
+	}
+	return 0
+}
+
+// NotNamed switches over a basic type; only named types are checked.
+func NotNamed(i int) int {
+	switch i {
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+// Suppressed documents a justified partial switch.
+func Suppressed(k EventKind) int {
+	//lint:ignore eventexhaustive fixture exercises the suppression path
+	switch k {
+	case EventHit:
+		return 1
+	}
+	return 0
+}

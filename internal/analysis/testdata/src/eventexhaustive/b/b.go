@@ -1,0 +1,24 @@
+// Package b fixtures cross-package coverage: the members of a's enum are
+// resolved from the declaring package, exactly as shard and telemetry
+// switch over core.EventKind.
+package b
+
+import "eventexhaustive/a"
+
+// Partial misses one kind declared in the other package.
+func Partial(k a.EventKind) int {
+	switch k { // want `switch over eventexhaustive/a\.EventKind is not exhaustive: missing EventMiss`
+	case a.EventHit, a.EventEvict:
+		return 1
+	}
+	return 0
+}
+
+// Full covers the imported enum completely.
+func Full(k a.EventKind) int {
+	switch k {
+	case a.EventHit, a.EventMiss, a.EventEvict:
+		return 1
+	}
+	return 0
+}

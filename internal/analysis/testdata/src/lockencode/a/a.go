@@ -1,0 +1,97 @@
+// Package a fixtures the lockencode analyzer: encoding and loader
+// execution under a shard mutex (the PR 8 pause regression and the PR 1
+// loader re-entrancy hazard), against the sanctioned shapes — snapshot
+// under the lock, encode outside it; publish a flight, unlock, execute.
+package a
+
+import (
+	"sync"
+
+	"lockencode/persist"
+)
+
+// Loader mirrors shard.Loader: a named function type executing a query.
+type Loader func(id string) (any, error)
+
+type shard struct {
+	mu     sync.Mutex
+	loader Loader
+}
+
+// BadEncode encodes between Lock and Unlock.
+func (s *shard) BadEncode(v any) []byte {
+	s.mu.Lock()
+	b := persist.Encode(v) // want `call into package persist while a mutex is held`
+	s.mu.Unlock()
+	return b
+}
+
+// BadDeferred holds the lock to function end via defer; the encode still
+// runs under it.
+func (s *shard) BadDeferred(v any) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return persist.Encode(v) // want `call into package persist while a mutex is held`
+}
+
+// BadLoader executes the loader under the shard lock: re-entrancy
+// deadlocks, and a slow query holds every follower hostage.
+func (s *shard) BadLoader(id string) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loader(id) // want `Loader invoked while a mutex is held`
+}
+
+// OKOutside snapshots under the lock and does the expensive work after
+// releasing it.
+func (s *shard) OKOutside(v any, id string) ([]byte, any) {
+	s.mu.Lock()
+	snapshot := v
+	s.mu.Unlock()
+	b := persist.Encode(snapshot)
+	p, _ := s.loader(id)
+	return b, p
+}
+
+// OKChunked is the PR 8 shape: bounded lock slices inside the loop, the
+// encode between them.
+func (s *shard) OKChunked(vs []any) [][]byte {
+	out := make([][]byte, 0, len(vs))
+	for _, v := range vs {
+		s.mu.Lock()
+		c := v
+		s.mu.Unlock()
+		out = append(out, persist.Encode(c))
+	}
+	return out
+}
+
+// OKGoroutine spawns the encode into another goroutine; that body runs
+// outside this lock scope.
+func (s *shard) OKGoroutine(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = persist.Encode(v)
+	}()
+}
+
+// rshard exercises the reader-lock spellings.
+type rshard struct {
+	mu sync.RWMutex
+}
+
+// BadRead encodes under an RLock; readers stall writers just the same.
+func (r *rshard) BadRead(v any) []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return persist.Encode(v) // want `call into package persist while a mutex is held`
+}
+
+// Suppressed documents a justified exception.
+func (s *shard) Suppressed(v any) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockencode fixture exercises the suppression path
+	return persist.Encode(v)
+}

@@ -1,0 +1,7 @@
+// Package persist stands in for the repository's internal/persist: the
+// lockencode analyzer matches callees by package name, so the fixture
+// package only needs the name and an exported function.
+package persist
+
+// Encode stands in for the WMSNAP encoder.
+func Encode(v any) []byte { return nil }

@@ -1,0 +1,35 @@
+// Package a fixtures the timesource analyzer: the regression shape is
+// internal/core's span clock — a raw time.Now() in lifecycle code outside
+// the package's designated //watchman:timesource file, which silently
+// breaks replay determinism.
+package a
+
+import "time"
+
+// Bad reads the wall clock directly in a non-clock file.
+func Bad() time.Duration {
+	t := time.Now()      // want `raw time\.Now\(\) outside a //watchman:timesource file`
+	return time.Since(t) // want `raw time\.Since\(\) outside a //watchman:timesource file`
+}
+
+// OK routes through the designated clock file's helpers.
+func OK() time.Duration {
+	return since(monotime())
+}
+
+// OKMethod calls a Now method on a non-time receiver; only the time
+// package's clock is restricted.
+func OKMethod() int {
+	var c fakeClock
+	return c.Now()
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+// Suppressed documents a justified exception.
+func Suppressed() time.Time {
+	//lint:ignore timesource fixture exercises the suppression path
+	return time.Now()
+}

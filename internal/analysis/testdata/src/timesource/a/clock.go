@@ -1,0 +1,10 @@
+// This file is the fixture package's designated time-source file.
+//
+//watchman:timesource
+
+package a
+
+import "time"
+
+func monotime() time.Time             { return time.Now() }
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -127,6 +127,8 @@ func (p *Pool) evictOne() error {
 // Read requests the page, faulting it in if absent, and returns whether the
 // request was a hit. On a hit or a fault the page becomes most recently
 // used.
+//
+//watchman:hotpath
 func (p *Pool) Read(id PageID) (hit bool, err error) {
 	p.stats.Reads++
 	if f, ok := p.frames[id]; ok {
@@ -141,6 +143,7 @@ func (p *Pool) Read(id PageID) (hit bool, err error) {
 			return false, err
 		}
 	}
+	//lint:ignore hotpathalloc the fault path must materialize a frame; the hit path above is allocation-free
 	f := &frame{id: id}
 	p.frames[id] = f
 	p.pushFront(f)

@@ -325,6 +325,8 @@ func (c *Cache) retainsInfo() bool {
 }
 
 // lookup finds the entry for a compressed ID via the signature index.
+//
+//watchman:hotpath
 func (c *Cache) lookup(id string, sig uint64) *Entry {
 	for _, e := range c.index[sig] {
 		if e.ID == id {
@@ -387,6 +389,8 @@ func (c *Cache) LookupCanonical(id string, sig uint64) (*Entry, bool) {
 // returns hit = false. The caller is expected to have executed (or to now
 // execute) the query on a miss; Request.Cost is charged either way for the
 // cost-savings accounting.
+//
+//watchman:accounted
 func (c *Cache) Reference(req Request) (hit bool, payload any) {
 	id := CompressID(req.QueryID)
 	return c.reference(req, id, Signature(id), true)
@@ -397,6 +401,8 @@ func (c *Cache) Reference(req Request) (hit bool, payload any) {
 // to route the request, and recomputing them on the serialized hot path
 // would double the per-request work under the shard lock. req.QueryID must
 // be a CompressID result and sig its Signature.
+//
+//watchman:accounted
 func (c *Cache) ReferenceCanonical(req Request, sig uint64) (hit bool, payload any) {
 	return c.reference(req, req.QueryID, sig, true)
 }
@@ -405,6 +411,8 @@ func (c *Cache) ReferenceCanonical(req Request, sig uint64) (hit bool, payload a
 // caller has already executed the query remotely (the concurrent Load
 // path commits loader results through it), so answering the reference by
 // derivation would claim savings that were never realized.
+//
+//watchman:accounted
 func (c *Cache) ReferenceExecuted(req Request, sig uint64) (hit bool, payload any) {
 	return c.reference(req, req.QueryID, sig, false)
 }
@@ -415,6 +423,8 @@ func (c *Cache) ReferenceExecuted(req Request, sig uint64) (hit bool, payload an
 // attributes hits to the submitting class, not the admitting one). It is
 // the single-lookup hit path for concurrent front-ends: the caller has
 // already located the entry, so no second index probe runs.
+//
+//watchman:accounted
 func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 	now := c.tick(t, e.Cost)
 	c.spanBegin(e.ID, class, e.Size, e.Cost, now)
@@ -436,6 +446,8 @@ func (c *Cache) ReferenceEntry(e *Entry, t float64, class int) (payload any) {
 // current clock). queueNanos, when positive, is attributed to StageApply:
 // the time the promotion spent queued between the lock-free hit and its
 // application.
+//
+//watchman:hotpath
 func (c *Cache) ApplyHit(e *Entry, t float64, class int, cost float64, queueNanos int64) {
 	now := c.tick(t, cost)
 	c.spanBegin(e.ID, class, e.Size, cost, now)
@@ -498,6 +510,9 @@ func (c *Cache) tick(t, cost float64) float64 {
 // chargeHit is the account stage of the hit path: it records the
 // reference, touches the evictor, accrues the cost-savings counters and
 // emits the Hit event.
+//
+//watchman:accounting
+//watchman:hotpath
 func (c *Cache) chargeHit(e *Entry, cost float64, class int, now float64) {
 	e.window.record(now)
 	c.ev.touch(e, now)
@@ -515,6 +530,8 @@ func (c *Cache) chargeHit(e *Entry, cost float64, class int, now float64) {
 // the entry, the account stage charges the reference (hit or miss), and on
 // a miss the derivation stage may answer it from a cached ancestor before
 // the admit and insert/evict stages run via miss.
+//
+//watchman:accounted
 func (c *Cache) reference(req Request, id string, sig uint64, allowDerive bool) (hit bool, payload any) {
 	now := c.tick(req.Time, req.Cost)
 	c.spanBegin(id, req.Class, req.Size, req.Cost, now)
@@ -589,6 +606,8 @@ func (c *Cache) enforceRetainedBudget(now float64) {
 // the insert/evict stage commits the decision. derived marks the admission
 // of a derived set (reached via deriveHit, not a reference outcome of its
 // own); its events carry Event.Derived so accountants skip them.
+//
+//watchman:accounting
 func (c *Cache) miss(e *Entry, id string, sig uint64, req Request, now float64, derived bool) {
 	needBytes := req.Size + c.cfg.MetadataOverhead
 	if needBytes > c.cfg.Capacity {

@@ -49,6 +49,8 @@ type Deriver interface {
 // and run the admission machinery for the derived set at residual cost.
 // The caller has already charged the reference via tick. It returns the
 // derived payload.
+//
+//watchman:accounting
 func (c *Cache) deriveHit(e *Entry, id string, sig uint64, req Request, d Derivation, now float64) any {
 	size := d.Size
 	if size == 0 {
@@ -103,6 +105,8 @@ func (c *Cache) deriveHit(e *Entry, id string, sig uint64, req Request, d Deriva
 // outcome here). req.QueryID must be a CompressID result and sig its
 // Signature; req.Cost must carry the remote-cost basis (Derivation.Remote)
 // and req.Size the derived set's size. It returns the payload served.
+//
+//watchman:accounted
 func (c *Cache) ReferenceDerived(req Request, sig uint64, d Derivation) (payload any) {
 	now := c.tick(req.Time, req.Cost)
 	c.spanBegin(req.QueryID, req.Class, req.Size, req.Cost, now)

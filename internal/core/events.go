@@ -225,6 +225,9 @@ func (s callbackSink) Emit(ev Event) {
 		if ev.Victims != nil && s.onReject != nil {
 			s.onReject(ev.Entry, ev.Victims, ev.Profit, ev.Bar)
 		}
+	case EventHit, EventExternalMiss, EventHitDerived, EventRestore:
+		// No legacy callback observes reference outcomes or snapshot
+		// restores; stats and telemetry sinks consume those kinds.
 	}
 }
 

@@ -9,24 +9,6 @@ package core
 // enabled (the scratch span lives on the Cache and is passed by value),
 // and sinks run under the cache's execution context.
 
-import "time"
-
-// spanEpoch anchors the monotonic clock every span timing is read from.
-// time.Since on a fixed anchor uses the runtime's monotonic reading, so
-// stage durations are immune to wall-clock steps.
-var spanEpoch = time.Now()
-
-// monotonicNanos returns nanoseconds elapsed on the monotonic clock since
-// process start (strictly: since package initialization).
-func monotonicNanos() int64 { return int64(time.Since(spanEpoch)) }
-
-// MonotonicNanos exposes the span clock to callers that attribute
-// externally measured durations to a stage — the buffered shard front
-// stamps promotions at enqueue time and charges the queue delay to
-// StageApply when the worker applies them. Comparable only with other
-// readings from the same process.
-func MonotonicNanos() int64 { return monotonicNanos() }
-
 // Stage indexes one lifecycle stage of a reference span. The stages are
 // the named steps of the reference lifecycle; a span accumulates wall
 // nanoseconds per stage as the reference moves through them.

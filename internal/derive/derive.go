@@ -163,6 +163,9 @@ func (d *Deriver) Emit(ev core.Event) {
 			}
 		}
 		d.mu.Unlock()
+	case core.EventHit, core.EventMissRejected, core.EventExternalMiss, core.EventHitDerived:
+		// Reference outcomes do not change residency, so the candidate
+		// index has nothing to learn from them.
 	}
 }
 

@@ -248,6 +248,9 @@ func analyzeWith(anc, q *Descriptor, qa *queryAnalysis) (*derivationPlan, bool) 
 				minPos[sp.Col] = p
 			case AggMax:
 				maxPos[sp.Col] = p
+			case AggAvg:
+				// An ancestor AVG column carries no mergeable partial;
+				// AVG always derives from the SUM and COUNT columns.
 			}
 		}
 		for i := range q.Aggs {
@@ -521,6 +524,9 @@ func rewriteMerge(plan *derivationPlan, q *Descriptor, res *Result) *Result {
 				if v := row[src.pos]; !st.seen || v > st.max[i] {
 					st.max[i] = v
 				}
+			case AggCount:
+				// The group count accumulates exactly once per ancestor
+				// row via countPos below, never per output column.
 			}
 		}
 		if countPos >= 0 {

@@ -1,0 +1,20 @@
+package server
+
+// This file is the package's designated time-source file: the only place
+// in server allowed to read the process clock. The daemon's clock reads
+// are pure observability — uptime in /healthz and the build-info gauge —
+// and never feed the cache lifecycle, which takes its timestamps from
+// the shard layer's injected time source. The timesource analyzer
+// (cmd/watchmanlint) enforces that no other file in the package reads
+// the clock.
+//
+//watchman:timesource
+
+import "time"
+
+// monotime returns the current clock reading, for later measurement with
+// since.
+func monotime() time.Time { return time.Now() }
+
+// since returns the wall time elapsed from a monotime reading.
+func since(t time.Time) time.Duration { return time.Since(t) }

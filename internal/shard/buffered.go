@@ -179,12 +179,18 @@ func (k indexSink) Emit(ev core.Event) {
 		})
 	case core.EventEvict, core.EventInvalidate:
 		k.buf.index.Delete(ev.ID)
+	case core.EventHit, core.EventMissRejected, core.EventExternalMiss, core.EventHitDerived:
+		// Reference outcomes do not change residency; the read index
+		// mirrors residency only.
 	}
 }
 
 // fastHit charges one lock-free hit: the deferred cells immediately, and a
 // promotion for the bookkeeping — sampled by GetsPerPromote, dropped (and
 // counted) when the promote buffer is full. Never blocks, never allocates.
+//
+//watchman:accounting
+//watchman:hotpath
 func (s *Sharded) fastHit(sh *shard, re *readEntry, t float64, class int, cost float64) {
 	b := sh.buf
 	b.fastHits.Add(1)

@@ -1,0 +1,35 @@
+package shard
+
+// This file is the package's designated time-source file: the only place
+// in shard allowed to read the process clock. Everything cache-visible
+// flows through WallClock (the injectable Config.Now source, so live
+// traffic and replayed traces share one λ estimator); the monotime/since
+// helpers measure wall latency for the telemetry histogram, the flight
+// recorder and snapshot pause accounting — measurements, never
+// timestamps the replay-deterministic lifecycle can observe. The
+// timesource analyzer (cmd/watchmanlint) enforces that no other file in
+// the package reads the clock.
+//
+//watchman:timesource
+
+import "time"
+
+// WallClock returns a time source that maps wall time to core's logical
+// seconds: seconds elapsed since the call that created it.
+func WallClock() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// monotime returns the current clock reading, for later measurement with
+// the since helpers.
+func monotime() time.Time { return time.Now() }
+
+// since returns the wall time elapsed from a monotime reading.
+func since(t time.Time) time.Duration { return time.Since(t) }
+
+// sinceSeconds returns the seconds elapsed from a monotime reading.
+func sinceSeconds(t time.Time) float64 { return time.Since(t).Seconds() }
+
+// sinceNanos returns the nanoseconds elapsed from a monotime reading.
+func sinceNanos(t time.Time) int64 { return int64(time.Since(t)) }

@@ -122,13 +122,6 @@ type Config struct {
 	GetsPerPromote int
 }
 
-// WallClock returns a time source that maps wall time to core's logical
-// seconds: seconds elapsed since the call that created it.
-func WallClock() func() float64 {
-	start := time.Now()
-	return func() float64 { return time.Since(start).Seconds() }
-}
-
 // Stats aggregates the core counters across shards and adds the
 // concurrency layer's own counters.
 type Stats struct {
@@ -402,6 +395,8 @@ func (s *Sharded) timestamp(t float64) float64 {
 // does — hit returns the cached payload, miss runs admission/replacement —
 // under the owning shard's lock. A zero Request.Time is replaced by the
 // configured time source.
+//
+//watchman:accounted
 func (s *Sharded) Reference(req core.Request) (hit bool, payload any) {
 	id := core.CompressID(req.QueryID)
 	req.QueryID = id
@@ -451,6 +446,8 @@ func (s *Sharded) WhatIf() *whatif.Matrix { return s.whatif }
 // hit-ratio denominators stay honest under invalidation churn (the
 // reference consulted the cache; pretending it never happened would
 // overstate savings).
+//
+//watchman:accounting
 func (s *Sharded) accountExternal(sh *shard, req core.Request) {
 	sh.mu.Lock()
 	sh.cache.Account(req, false)
@@ -462,8 +459,13 @@ func (s *Sharded) accountExternal(sh *shard, req core.Request) {
 // for the same query ID run the loader once and share its result. The
 // request's Size and Cost are ignored (the loader supplies them); a zero
 // Time is replaced by the time source.
+//
+//watchman:accounted
 func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 	if s.loader == nil {
+		// A misconfigured front never consulted the cache: nothing was
+		// looked up, so there is no reference to charge.
+		//lint:ignore accounthonesty config error precedes the lookup; the cache was never consulted
 		return nil, false, fmt.Errorf("shard: no Loader configured")
 	}
 	id := core.CompressID(req.QueryID)
@@ -554,7 +556,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 		// the loader bypassed. Those fall through to the loader.
 		var start time.Time
 		if s.rec != nil {
-			start = time.Now()
+			start = monotime()
 		}
 		if d, ok := s.deriver.Derive(core.Request{QueryID: id, Class: req.Class,
 			Relations: req.Relations, Plan: req.Plan}); ok && d.Payload != nil {
@@ -563,7 +565,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 			s.derivations.Add(1)
 		}
 		if s.rec != nil {
-			f.execNanos = int64(time.Since(start))
+			f.execNanos = sinceNanos(start)
 		}
 	}
 	if f.derivation == nil {
@@ -629,7 +631,7 @@ func (s *Sharded) Load(req core.Request) (payload any, hit bool, err error) {
 func (s *Sharded) runLoader(f *flight, req core.Request) {
 	var start time.Time
 	if s.reg != nil || s.rec != nil {
-		start = time.Now()
+		start = monotime()
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -637,10 +639,10 @@ func (s *Sharded) runLoader(f *flight, req core.Request) {
 		}
 		s.loaderCalls.Add(1)
 		if s.reg != nil {
-			s.reg.ObserveLoad(time.Since(start).Seconds(), f.err != nil)
+			s.reg.ObserveLoad(sinceSeconds(start), f.err != nil)
 		}
 		if s.rec != nil {
-			f.execNanos += int64(time.Since(start))
+			f.execNanos += sinceNanos(start)
 		}
 	}()
 	f.payload, f.size, f.cost, f.err = s.loader(req)

@@ -112,10 +112,10 @@ func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
 		// stream prefix this capture will observe.
 		s.whatif.Drain()
 	}
-	start := time.Now()
+	start := monotime()
 	var maxPause time.Duration
 	pause := func(t0 time.Time) {
-		if d := time.Since(t0); d > maxPause {
+		if d := since(t0); d > maxPause {
 			maxPause = d
 		}
 	}
@@ -127,7 +127,7 @@ func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
 	// the same per-shard consistency ExportState offers.
 	var clock float64
 	for _, sh := range s.shards {
-		t0 := time.Now()
+		t0 := monotime()
 		sh.mu.Lock()
 		if c := sh.cache.Clock(); c > clock {
 			clock = c
@@ -150,7 +150,7 @@ func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
 		// before the header capture, so the image carries fully-applied
 		// recency and λ state.
 		s.drainShard(sh)
-		t0 := time.Now()
+		t0 := monotime()
 		sh.mu.Lock()
 		cur := sh.cache.ExportBegin()
 		if sh.buf != nil {
@@ -175,7 +175,7 @@ func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
 			// Per-chunk drain: hits applied while the previous chunk was
 			// encoding reach the core before this slice is copied.
 			s.drainShard(sh)
-			t0 = time.Now()
+			t0 = monotime()
 			sh.mu.Lock()
 			chunk, _ := sh.cache.ExportChunk(cur, snapshotChunkEntries, scratch[:cap(scratch)])
 			sh.mu.Unlock()
@@ -207,7 +207,7 @@ func (s *Sharded) StreamSnapshot(w io.Writer) (SnapshotInfo, error) {
 	info := SnapshotInfo{
 		Bytes:        cw.n,
 		Resident:     resident,
-		Elapsed:      time.Since(start),
+		Elapsed:      since(start),
 		MaxLockPause: maxPause,
 	}
 	if s.reg != nil {
@@ -417,7 +417,7 @@ func (sn *Snapshotter) writeAndRecord() (SnapshotInfo, error) {
 	sn.lastMu.Lock()
 	sn.lastErr = err
 	if err == nil {
-		sn.lastGood, sn.lastGoodAt = info, time.Now()
+		sn.lastGood, sn.lastGoodAt = info, monotime()
 	}
 	sn.lastMu.Unlock()
 	return info, err
@@ -427,7 +427,7 @@ func (sn *Snapshotter) writeAndRecord() (SnapshotInfo, error) {
 // held. The capture streams (StreamSnapshot), so shard locks are held
 // only per-chunk and never across the file I/O.
 func (sn *Snapshotter) write() (SnapshotInfo, error) {
-	start := time.Now()
+	start := monotime()
 	dir := filepath.Dir(sn.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(sn.path)+".tmp*")
 	if err != nil {
@@ -450,7 +450,7 @@ func (sn *Snapshotter) write() (SnapshotInfo, error) {
 		return SnapshotInfo{}, fmt.Errorf("shard: snapshot: %w", err)
 	}
 	info.Path = sn.path
-	info.Elapsed = time.Since(start)
+	info.Elapsed = since(start)
 	return info, nil
 }
 

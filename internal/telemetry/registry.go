@@ -33,6 +33,8 @@ import (
 type atomicFloat struct{ bits atomic.Uint64 }
 
 // Add adds v to the accumulator.
+//
+//watchman:hotpath
 func (f *atomicFloat) Add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -67,6 +69,8 @@ type refCell struct {
 // charge accrues one event into the cell. deriveCost is meaningful only
 // for HitDerived events (the cost actually spent re-deriving; the saving
 // is cost − deriveCost).
+//
+//watchman:hotpath
 func (c *refCell) charge(kind core.EventKind, size int64, cost, deriveCost float64) {
 	switch kind {
 	case core.EventHit:
@@ -97,6 +101,9 @@ func (c *refCell) charge(kind core.EventKind, size int64, cost, deriveCost float
 		c.evictions.Add(1)
 	case core.EventInvalidate:
 		c.invalidated.Add(1)
+	case core.EventRestore:
+		// Snapshot restores re-announce residency, not a reference
+		// outcome; restored Stats already carry the pre-crash history.
 	}
 }
 

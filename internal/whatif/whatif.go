@@ -351,6 +351,8 @@ func (m *Matrix) sampled(sig uint64) bool {
 
 // Emit consumes one live-cache event. It runs under the emitting shard's
 // lock: the unsampled path must not allocate, lock or block.
+//
+//watchman:hotpath
 func (m *Matrix) Emit(ev core.Event) {
 	switch ev.Kind {
 	case core.EventHit, core.EventHitDerived, core.EventExternalMiss:
@@ -393,6 +395,7 @@ func (m *Matrix) Emit(ev core.Event) {
 	}
 	if len(ev.Relations) > 0 {
 		// Events must not be retained past Emit; the worker outlives it.
+		//lint:ignore hotpathalloc sampled-path copy; the unsampled fast path returned above
 		o.relations = append([]string(nil), ev.Relations...)
 	}
 	if m.cfg.Blocking {
@@ -492,6 +495,8 @@ func (m *Matrix) worker() {
 			continue
 		case opStop:
 			return
+		case opRef, opRestore, opInval:
+			// Ghost mutations; handled under the lock below.
 		}
 		m.mu.Lock()
 		switch o.kind {
@@ -506,6 +511,8 @@ func (m *Matrix) worker() {
 					c.tuner.Invalidate(o.relations...)
 				}
 			}
+		case opBarrier, opStop:
+			// Control ops; consumed by the pre-lock dispatch above.
 		}
 		m.mu.Unlock()
 	}
